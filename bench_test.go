@@ -1,0 +1,95 @@
+// Benchmarks: one per paper table/figure/in-text claim, each
+// regenerating the corresponding experiment's rows against the
+// simulated machine. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The quick configuration (1/8-scale caches, SF 0.25) is used so the
+// full suite completes in minutes; it preserves every working-set-to-
+// cache ratio of the paper-scale setup (see DESIGN.md). Set
+// OLAPSIM_BENCH_FULL=1 for the full Table-1 machines at SF 2.
+package olapmicro
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"olapmicro/internal/harness"
+)
+
+var (
+	benchOnce sync.Once
+	benchH    *harness.Harness
+)
+
+func benchHarness(b *testing.B) *harness.Harness {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := harness.QuickConfig()
+		if os.Getenv("OLAPSIM_BENCH_FULL") != "" {
+			cfg = harness.DefaultConfig()
+		}
+		benchH = harness.New(cfg)
+	})
+	return benchH
+}
+
+// runExperiment measures regenerating one experiment end to end. The
+// first iteration simulates; later iterations exercise the memoized
+// path, so -benchtime=1x gives the true simulation cost.
+func runExperiment(b *testing.B, id string) {
+	h := benchHarness(b)
+	e, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		fig := e.Run(h)
+		rows = len(fig.Series)
+	}
+	b.ReportMetric(float64(rows), "series")
+}
+
+func BenchmarkTable1MLC(b *testing.B)                        { runExperiment(b, "table1") }
+func BenchmarkFig1ProjectionCommercial(b *testing.B)         { runExperiment(b, "fig1") }
+func BenchmarkFig2ProjectionCommercialStalls(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig3ProjectionHighPerf(b *testing.B)           { runExperiment(b, "fig3") }
+func BenchmarkFig4ProjectionHighPerfStalls(b *testing.B)     { runExperiment(b, "fig4") }
+func BenchmarkFig5ProjectionBandwidth(b *testing.B)          { runExperiment(b, "fig5") }
+func BenchmarkFig6ProjectionResponseTimes(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig7SelectionCommercial(b *testing.B)          { runExperiment(b, "fig7") }
+func BenchmarkFig8SelectionCommercialStalls(b *testing.B)    { runExperiment(b, "fig8") }
+func BenchmarkFig9SelectionHighPerf(b *testing.B)            { runExperiment(b, "fig9") }
+func BenchmarkFig10SelectionHighPerfStalls(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11JoinCommercial(b *testing.B)              { runExperiment(b, "fig11") }
+func BenchmarkFig12JoinHighPerf(b *testing.B)                { runExperiment(b, "fig12") }
+func BenchmarkFig13JoinHighPerfStalls(b *testing.B)          { runExperiment(b, "fig13") }
+func BenchmarkFig14JoinBandwidthAndTimes(b *testing.B)       { runExperiment(b, "fig14") }
+func BenchmarkFig15TPCH(b *testing.B)                        { runExperiment(b, "fig15") }
+func BenchmarkFig16TPCHStalls(b *testing.B)                  { runExperiment(b, "fig16") }
+func BenchmarkFig17PredicationTyper(b *testing.B)            { runExperiment(b, "fig17") }
+func BenchmarkFig18PredicationTyperStalls(b *testing.B)      { runExperiment(b, "fig18") }
+func BenchmarkFig19PredicationTectorwise(b *testing.B)       { runExperiment(b, "fig19") }
+func BenchmarkFig20PredicationTectorwiseStalls(b *testing.B) { runExperiment(b, "fig20") }
+func BenchmarkFig21PredicatedBandwidth(b *testing.B)         { runExperiment(b, "fig21") }
+func BenchmarkFig22SIMDResponseTimes(b *testing.B)           { runExperiment(b, "fig22") }
+func BenchmarkFig23SIMDStalls(b *testing.B)                  { runExperiment(b, "fig23") }
+func BenchmarkFig24SIMDBandwidth(b *testing.B)               { runExperiment(b, "fig24") }
+func BenchmarkFig25SIMDJoinProbe(b *testing.B)               { runExperiment(b, "fig25") }
+func BenchmarkFig26Prefetchers(b *testing.B)                 { runExperiment(b, "fig26") }
+func BenchmarkFig27MulticoreTPCH(b *testing.B)               { runExperiment(b, "fig27") }
+func BenchmarkFig28MulticoreTPCHStalls(b *testing.B)         { runExperiment(b, "fig28") }
+func BenchmarkFig29MulticoreProjectionBW(b *testing.B)       { runExperiment(b, "fig29") }
+func BenchmarkFig30MulticoreJoinBW(b *testing.B)             { runExperiment(b, "fig30") }
+func BenchmarkTextSelBW(b *testing.B)                        { runExperiment(b, "text-sel-bw") }
+func BenchmarkTextQ6Pred(b *testing.B)                       { runExperiment(b, "text-q6-pred") }
+func BenchmarkTextChains(b *testing.B)                       { runExperiment(b, "text-chains") }
+func BenchmarkTextHT(b *testing.B)                           { runExperiment(b, "text-ht") }
+
+func BenchmarkExtGroupBy(b *testing.B)     { runExperiment(b, "ext-groupby") }
+func BenchmarkExtAblationMLP(b *testing.B) { runExperiment(b, "ext-ablation-mlp") }
+func BenchmarkExtAblationPf(b *testing.B)  { runExperiment(b, "ext-ablation-pf") }
+func BenchmarkExtScaling(b *testing.B)     { runExperiment(b, "ext-scaling") }

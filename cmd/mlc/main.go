@@ -1,0 +1,49 @@
+// Command mlc reimplements the Intel Memory Latency Checker kernels
+// against the simulated machines, regenerating the paper's Table 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"olapmicro/internal/hw"
+	"olapmicro/internal/mlc"
+)
+
+func main() {
+	machine := flag.String("machine", "broadwell", "broadwell or skylake")
+	flag.Parse()
+
+	var m *hw.Machine
+	switch *machine {
+	case "broadwell":
+		m = hw.Broadwell()
+	case "skylake":
+		m = hw.Skylake()
+	default:
+		fmt.Printf("unknown machine %q\n", *machine)
+		return
+	}
+
+	fmt.Printf("Machine: %s\n", m.Name)
+	fmt.Printf("  %d sockets x %d cores @ %.2f GHz\n\n", m.Sockets, m.CoresPerSocket, m.ClockHz/1e9)
+
+	fmt.Println("Pointer-chase latencies (dependent loads, stride 64 B):")
+	for _, r := range mlc.LatencySweep(m) {
+		fmt.Printf("  %10.1f KB region -> %6.1f cycles  (%s)\n",
+			float64(r.RegionBytes)/1024, r.Cycles, r.Level)
+	}
+
+	fmt.Println("\nBandwidths:")
+	fmt.Printf("  per-core:   %5.1f GB/s sequential, %5.1f GB/s random\n",
+		mlc.SequentialBandwidthGBs(m), mlc.RandomBandwidthGBs(m))
+	seq, rnd := mlc.SocketBandwidthGBs(m)
+	fmt.Printf("  per-socket: %5.1f GB/s sequential, %5.1f GB/s random\n", seq, rnd)
+
+	fmt.Println("\nCaches:")
+	fmt.Printf("  L1I %3d KB  L1D %3d KB (%d-cycle miss)\n",
+		m.L1I.SizeBytes>>10, m.L1D.SizeBytes>>10, m.L1D.MissLatency)
+	fmt.Printf("  L2  %3d KB (%d-cycle miss)\n", m.L2.SizeBytes>>10, m.L2.MissLatency)
+	fmt.Printf("  L3  %3d MB (%d-cycle miss, inclusive=%v)\n",
+		m.L3.SizeBytes>>20, m.L3.MissLatency, m.L3.Inclusive)
+}

@@ -1,0 +1,73 @@
+// Command olapsim runs the paper's experiments against the simulated
+// machines and prints each figure's data as a text table.
+//
+// Usage:
+//
+//	olapsim -list
+//	olapsim -experiment fig26
+//	olapsim -experiment all -quick
+//	OLAPSIM_SF=5 olapsim -experiment fig14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"olapmicro/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (fig1..fig30, table1, text-*) or 'all'")
+		quick      = flag.Bool("quick", false, "use the miniaturized test configuration (1/8 caches, SF 0.25)")
+		list       = flag.Bool("list", false, "list all experiments")
+		format     = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list || *experiment == "" {
+		fmt.Println("experiments (pass -experiment <id>):")
+		for _, e := range harness.AllExperiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		if *experiment == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	fmt.Printf("machine: %s | SF %.3g | generating database...\n", cfg.Machine.Name, cfg.SF)
+	start := time.Now()
+	h := harness.New(cfg)
+	fmt.Printf("database ready in %v (%d lineitem rows)\n\n", time.Since(start).Round(time.Millisecond), h.Data.Lineitem.Rows())
+
+	run := func(e harness.Experiment) {
+		t := time.Now()
+		fig := e.Run(h)
+		if *format == "csv" {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Print(fig)
+			fmt.Printf("   (%v)\n\n", time.Since(t).Round(time.Millisecond))
+		}
+	}
+
+	if *experiment == "all" {
+		for _, e := range harness.AllExperiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.Lookup(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *experiment)
+		os.Exit(2)
+	}
+	run(e)
+}

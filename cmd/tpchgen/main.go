@@ -1,0 +1,84 @@
+// Command tpchgen writes the generated TPC-H tables as pipe-separated
+// .tbl files, dbgen style.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"olapmicro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	out := flag.String("o", ".", "output directory")
+	flag.Parse()
+
+	d := tpch.Generate(*sf)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	write := func(name string, rows int, row func(w *bufio.Writer, i int)) {
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		for i := 0; i < rows; i++ {
+			row(w, i)
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d rows)\n", name, rows)
+	}
+
+	write("nation.tbl", len(d.Nation.NationKey), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%s|%d|\n", d.Nation.NationKey[i], d.Nation.Name[i], d.Nation.RegionKey[i])
+	})
+	write("region.tbl", len(d.Region.RegionKey), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%s|\n", d.Region.RegionKey[i], d.Region.Name[i])
+	})
+	write("supplier.tbl", len(d.Supplier.SuppKey), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%s|%d|%d.%02d|\n", d.Supplier.SuppKey[i], d.Supplier.Name[i],
+			d.Supplier.NationKey[i], d.Supplier.AcctBal[i]/100, abs(d.Supplier.AcctBal[i]%100))
+	})
+	write("customer.tbl", len(d.Customer.CustKey), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%s|%d|\n", d.Customer.CustKey[i], d.Customer.Name[i], d.Customer.NationKey[i])
+	})
+	write("part.tbl", len(d.Part.PartKey), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%s|%d.%02d|\n", d.Part.PartKey[i], d.Part.Name[i],
+			d.Part.RetailPrice[i]/100, d.Part.RetailPrice[i]%100)
+	})
+	write("partsupp.tbl", len(d.PartSupp.PartKey), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%d|%d|%d.%02d|\n", d.PartSupp.PartKey[i], d.PartSupp.SuppKey[i],
+			d.PartSupp.AvailQty[i], d.PartSupp.SupplyCost[i]/100, d.PartSupp.SupplyCost[i]%100)
+	})
+	write("orders.tbl", len(d.Orders.OrderKey), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%d|%d|%d.%02d|\n", d.Orders.OrderKey[i], d.Orders.CustKey[i],
+			d.Orders.OrderDate[i], d.Orders.TotalPrice[i]/100, d.Orders.TotalPrice[i]%100)
+	})
+	l := &d.Lineitem
+	write("lineitem.tbl", l.Rows(), func(w *bufio.Writer, i int) {
+		fmt.Fprintf(w, "%d|%d|%d|%d|%d.%02d|0.%02d|0.%02d|%c|%c|%d|%d|%d|\n",
+			l.OrderKey[i], l.PartKey[i], l.SuppKey[i], l.Quantity[i],
+			l.ExtendedPrice[i]/100, l.ExtendedPrice[i]%100,
+			l.Discount[i], l.Tax[i], l.ReturnFlag[i], l.LineStatus[i],
+			l.ShipDate[i], l.CommitDate[i], l.ReceiptDate[i])
+	})
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

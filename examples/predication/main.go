@@ -1,0 +1,46 @@
+// Predication (paper Section 7): compare branched and branch-free
+// selection on both high-performance engines across selectivities.
+// Shows the trade-off: predication always computes the full projection
+// but never mispredicts — it hurts the compiled engine at 10% and
+// helps everywhere else.
+//
+//	go run ./examples/predication
+package main
+
+import (
+	"fmt"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/harness"
+)
+
+func main() {
+	h := harness.New(harness.QuickConfig())
+
+	fmt.Println("Branched vs branch-free selection (three TPC-H date predicates):")
+	fmt.Printf("%-12s %6s %12s %12s %10s %12s\n",
+		"system", "sel", "branched ms", "brfree ms", "winner", "brmisp share")
+	for _, sys := range harness.HighPerf() {
+		for _, sel := range engine.Selectivities() {
+			br := h.MeasureSelection(sys, sel, false, harness.Opts{})
+			bf := h.MeasureSelection(sys, sel, true, harness.Opts{})
+			winner := "brfree"
+			if br.Profile.Seconds < bf.Profile.Seconds {
+				winner = "branched"
+			}
+			_, _, _, _, brShare := br.Profile.Breakdown.StallShares()
+			fmt.Printf("%-12s %5.0f%% %12.2f %12.2f %10s %11.0f%%\n",
+				sys, sel*100, br.Profile.Milliseconds(), bf.Profile.Milliseconds(),
+				winner, 100*brShare)
+		}
+	}
+	fmt.Println("\nPredicated TPC-H Q6 (the paper's end-to-end check):")
+	for _, sys := range harness.HighPerf() {
+		br := h.MeasureTPCH(sys, engine.Q6, false, harness.Opts{})
+		bf := h.MeasureTPCH(sys, engine.Q6, true, harness.Opts{})
+		fmt.Printf("  %-12s %.2f -> %.2f ms (-%.0f%%), bandwidth %.1f -> %.1f GB/s\n",
+			sys, br.Profile.Milliseconds(), bf.Profile.Milliseconds(),
+			100*(1-bf.Profile.Seconds/br.Profile.Seconds),
+			br.Profile.BandwidthGBs, bf.Profile.BandwidthGBs)
+	}
+}

@@ -1,0 +1,43 @@
+// Prefetchers (paper Section 9): toggle the four hardware prefetchers
+// through their MSR-0x1A4-style control bits and watch the compiled
+// engine's sequential scan go from latency-crippled to bandwidth-bound.
+//
+//	go run ./examples/prefetchers
+package main
+
+import (
+	"fmt"
+
+	"olapmicro/internal/engine/typer"
+	"olapmicro/internal/hw"
+	"olapmicro/internal/mem"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/tmam"
+	"olapmicro/internal/tpch"
+)
+
+func main() {
+	data := tpch.Generate(0.1)
+	machine := hw.Broadwell()
+
+	fmt.Println("Typer projection p4 under the six prefetcher configurations")
+	fmt.Printf("(MSR 0x1A4 shown as the paper's experiment programs it):\n\n")
+	fmt.Printf("%-14s %6s %10s %10s %10s\n", "config", "MSR", "time(ms)", "BW(GB/s)", "dcache ms")
+
+	for _, cfg := range mem.Figure26Configs() {
+		as := probe.NewAddrSpace()
+		eng := typer.New(data, as)
+		p := probe.New(machine, cfg)
+		eng.Projection(p, 4)
+		prof := tmam.Account(p, tmam.Params{})
+		tb := prof.TimeBreakdown()
+		fmt.Printf("%-14s %#6x %10.2f %10.1f %10.2f\n",
+			cfg, cfg.MSR(), prof.Milliseconds(), prof.BandwidthGBs, tb.Dcache)
+	}
+
+	fmt.Println("\nFindings reproduced from the paper:")
+	fmt.Println("  * the L2 streamer alone is as effective as all four together;")
+	fmt.Println("  * prefetchers cut the response time ~4x and Dcache stalls ~85%;")
+	fmt.Println("  * yet even fully enabled, the scan stays stall-dominated —")
+	fmt.Println("    prefetchers are not fast enough for scan-heavy analytics.")
+}

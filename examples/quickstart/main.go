@@ -1,0 +1,45 @@
+// Quickstart: profile one query on the simulated Broadwell server and
+// print its VTune-style top-down breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"olapmicro/internal/engine/typer"
+	"olapmicro/internal/hw"
+	"olapmicro/internal/mem"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/tmam"
+	"olapmicro/internal/tpch"
+)
+
+func main() {
+	// 1. Generate a TPC-H database (SF 0.1 here for a fast demo).
+	data := tpch.Generate(0.1)
+	fmt.Printf("generated TPC-H SF 0.1: %d lineitem rows\n", data.Lineitem.Rows())
+
+	// 2. Pick a machine and an engine; bind the engine to simulated
+	//    virtual addresses.
+	machine := hw.Broadwell()
+	as := probe.NewAddrSpace()
+	eng := typer.New(data, as)
+
+	// 3. Run a query under the probe: the engine computes the real
+	//    answer while the probe drives the cache/branch/port simulators.
+	p := probe.New(machine, mem.AllPrefetchers())
+	result := eng.Projection(p, 4) // SUM over four lineitem columns
+
+	// 4. Account the events into the paper's cycle breakdown.
+	prof := tmam.Account(p, tmam.Params{})
+
+	fmt.Printf("\nSUM(l_extendedprice + l_discount + l_tax + l_quantity) = %d\n", result.Sum)
+	fmt.Printf("simulated response time: %.2f ms\n", prof.Milliseconds())
+	fmt.Printf("memory bandwidth:        %.1f GB/s (per-core max %.0f)\n",
+		prof.BandwidthGBs, machine.PerCoreBW.Sequential/hw.GB)
+	fmt.Printf("cycle breakdown:         %s\n", prof.Breakdown)
+	fmt.Println("\nThe paper's headline for this workload: a compiled engine")
+	fmt.Println("saturates per-core bandwidth and still spends most cycles on")
+	fmt.Println("Dcache stalls — prefetchers cannot run far enough ahead.")
+}

@@ -1,0 +1,62 @@
+package cpu
+
+import "olapmicro/internal/hw"
+
+// Frontend models instruction delivery: the L1I cache and the decode
+// pipeline. The paper's central finding about commercial OLAP systems
+// is that — unlike OLTP — their instruction working set loops fit the
+// instruction cache (no Icache stalls) even though the footprint is
+// large enough to cause decode inefficiency and, above all, sheer
+// instruction count.
+//
+// The model is analytical: engines declare the static code footprint
+// of their inner loops (FootprintBytes) and how many times control
+// flow traverses it (Traversals). A footprint within L1I incurs only
+// cold misses; beyond L1I, each traversal re-misses the excess
+// portion; beyond L2, misses escalate in cost.
+type Frontend struct {
+	Machine *hw.Machine
+
+	// FootprintBytes is the static instruction bytes of the hot path.
+	FootprintBytes uint64
+	// Traversals is how many times the hot path is walked end to end
+	// (for an interpreter: once per tuple; for a tight loop: once).
+	Traversals uint64
+	// DecodeEvents counts decoder inefficiency events (legacy-decoder
+	// switches, length-changing prefixes); engines derive it from their
+	// instruction mix.
+	DecodeEvents uint64
+}
+
+// L1IMisses estimates instruction-cache misses. A footprint within
+// L1I never misses after warm-up (the paper profiles after a one-
+// minute warm-up, so compulsory misses are not visible).
+func (f *Frontend) L1IMisses() uint64 {
+	l1i := uint64(f.Machine.L1I.SizeBytes)
+	if f.FootprintBytes <= l1i {
+		return 0
+	}
+	cold := f.FootprintBytes / hw.Line
+	// The portion of the footprint beyond L1I capacity is re-missed on
+	// every traversal, damped by the LRU keeping the hottest lines:
+	// only half of the excess effectively thrashes.
+	excessLines := (f.FootprintBytes - l1i) / hw.Line
+	return cold + f.Traversals*excessLines/2
+}
+
+// IcacheStallCycles converts L1I misses to stall cycles. Misses that
+// stay within L2 cost the L1I miss latency; a footprint beyond L2 pays
+// the L2 miss latency as well.
+func (f *Frontend) IcacheStallCycles() float64 {
+	misses := float64(f.L1IMisses())
+	lat := float64(f.Machine.L1I.MissLatency)
+	if f.FootprintBytes > uint64(f.Machine.L2.SizeBytes) {
+		lat += float64(f.Machine.L2.MissLatency)
+	}
+	return misses * lat
+}
+
+// DecodeStallCycles converts decode events to stall cycles.
+func (f *Frontend) DecodeStallCycles() float64 {
+	return float64(f.DecodeEvents) * float64(f.Machine.DecodePenalty)
+}

@@ -1,0 +1,100 @@
+package cpu
+
+import "olapmicro/internal/hw"
+
+// OpClass classifies retired micro-ops by the execution resource they
+// occupy. The port model follows the Broadwell execution engine: eight
+// ports of which four have ALUs, two can issue loads, one commits
+// stores (Section 3: "eight execution ports, four of them including an
+// ALU unit").
+type OpClass int
+
+const (
+	// OpALU covers simple integer/logic operations (1-cycle latency).
+	OpALU OpClass = iota
+	// OpMul covers integer multiplies and hash mixing (3-cycle latency).
+	OpMul
+	// OpLoad covers load micro-ops.
+	OpLoad
+	// OpStore covers store micro-ops.
+	OpStore
+	// OpBranch covers branch micro-ops.
+	OpBranch
+	// OpSIMD covers vector operations (occupy an ALU port but process
+	// Machine.SIMDLanes64 values at once).
+	OpSIMD
+	numOpClasses
+)
+
+// String names the class.
+func (c OpClass) String() string {
+	switch c {
+	case OpALU:
+		return "alu"
+	case OpMul:
+		return "mul"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	case OpSIMD:
+		return "simd"
+	}
+	return "?"
+}
+
+// OpCounts tallies retired micro-ops per class plus the length of the
+// longest data-dependency chain (in cycles), which bounds how fast the
+// out-of-order engine can run regardless of port count.
+type OpCounts struct {
+	N         [numOpClasses]uint64
+	DepCycles uint64 // cycles on the critical dependency chain
+	// ExtraExecCycles is additive execution-resource pressure that the
+	// port maxima cannot express (store-buffer and AGU pressure from
+	// materialization-heavy vectorized execution); see engine costs.
+	ExtraExecCycles uint64
+}
+
+// Add accumulates o into c.
+func (c *OpCounts) Add(o OpCounts) {
+	for i := range c.N {
+		c.N[i] += o.N[i]
+	}
+	c.DepCycles += o.DepCycles
+	c.ExtraExecCycles += o.ExtraExecCycles
+}
+
+// Uops is the total retired micro-op count.
+func (c *OpCounts) Uops() uint64 {
+	var t uint64
+	for _, n := range c.N {
+		t += n
+	}
+	return t
+}
+
+// ExecCycles returns the minimum cycles the execution engine needs to
+// issue all counted operations on machine m: the max over (a) the
+// bottleneck port class, (b) the issue width, and (c) the dependency
+// chain. Anything above Uops/IssueWidth shows up as Execution stalls
+// in the TMAM breakdown.
+func (c *OpCounts) ExecCycles(m *hw.Machine) float64 {
+	alu := float64(c.N[OpALU]+c.N[OpMul]+c.N[OpSIMD]) / float64(m.ALUPorts)
+	// Multiplies occupy the single multiply-capable port longer.
+	mul := float64(c.N[OpMul]) * 1.0
+	ld := float64(c.N[OpLoad]) / float64(m.LoadPorts)
+	st := float64(c.N[OpStore])  // one store port
+	br := float64(c.N[OpBranch]) // one branch port
+	width := float64(c.Uops()) / float64(m.IssueWidth)
+	dep := float64(c.DepCycles)
+
+	maxv := alu
+	for _, v := range []float64{mul, ld, st, br, width, dep} {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	return maxv + float64(c.ExtraExecCycles)
+}

@@ -1,0 +1,137 @@
+package engine
+
+// The cost models below are the only calibrated constants in the
+// reproduction (DESIGN.md §5). They state how many micro-ops each
+// execution model spends per unit of work, fitted once against the
+// response-time ratios the paper reports (DBMS R two orders of
+// magnitude slower than Typer on projection, DBMS C one order;
+// join 4.5x / 6.3x) and never adjusted per experiment.
+
+// RowStoreCosts models DBMS R: a traditional interpreted Volcano
+// engine. Every tuple crosses several operator boundaries (virtual
+// Next() calls), gets its slots located in a slotted page, and has its
+// expressions evaluated by walking an expression tree with type
+// dispatch — a few thousand instructions per tuple.
+type RowStoreCosts struct {
+	PerTuple       uint64 // iterator + slot + interpretation overhead
+	PerColumn      uint64 // expression-tree node evaluation per column
+	DepPerTuple    uint64 // serial pointer chasing in the interpreter
+	BranchPerTuple uint64 // data-independent interpretation branches
+	MetaLoads      uint64 // buffer-pool/catalog structure loads per tuple
+	Footprint      uint64 // hot-path code bytes (fits L1I: no Icache wall)
+	DecodePer1K    uint64 // decode events per 1000 tuples
+}
+
+// DefaultRowStoreCosts returns the calibrated DBMS R model.
+func DefaultRowStoreCosts() RowStoreCosts {
+	return RowStoreCosts{
+		PerTuple:       1500,
+		PerColumn:      120,
+		DepPerTuple:    520,
+		BranchPerTuple: 24,
+		MetaLoads:      5,
+		Footprint:      26 << 10, // 26 KB: inside L1I, unlike OLTP engines
+		DecodePer1K:    400,
+	}
+}
+
+// ColStoreCosts models DBMS C: the column-store extension of DBMS R.
+// It processes values block-at-a-time in column loops, but each block
+// still passes through the row engine's coordination layer.
+type ColStoreCosts struct {
+	PerValue      uint64 // column-loop work per value
+	PerBlock      uint64 // row-engine coordination per block
+	BlockSize     int
+	BranchPerVal  float64 // residual data-independent branches
+	Footprint     uint64  // slightly exceeds L1I: mild Icache stalls
+	DecodePerBlok uint64
+	// JoinPerValue and JoinDepPerValue are the per-tuple costs of
+	// running joins through the host row engine (block-to-tuple
+	// conversion plus the interpreted hash-join operator).
+	JoinPerValue    uint64
+	JoinDepPerValue uint64
+}
+
+// DefaultColStoreCosts returns the calibrated DBMS C model.
+func DefaultColStoreCosts() ColStoreCosts {
+	return ColStoreCosts{
+		PerValue:        64,
+		PerBlock:        4000,
+		BlockSize:       1024,
+		BranchPerVal:    0.25,
+		Footprint:       40 << 10,
+		DecodePerBlok:   40,
+		JoinPerValue:    2300,
+		JoinDepPerValue: 280,
+	}
+}
+
+// TyperCosts models the compiled engine: fused tuple-at-a-time loops
+// with a handful of instructions per attribute.
+type TyperCosts struct {
+	LoopPerTuple uint64 // loop control (amortized by unrolling)
+	PerColumn    uint64 // load + arithmetic per touched attribute
+	Footprint    uint64 // generated code: tiny
+}
+
+// DefaultTyperCosts returns the calibrated Typer model.
+func DefaultTyperCosts() TyperCosts {
+	return TyperCosts{LoopPerTuple: 2, PerColumn: 1, Footprint: 2 << 10}
+}
+
+// TectorwiseCosts models the vectorized engine: each primitive streams
+// a 1024-value vector through load/op/store with interpretation
+// overhead amortized per vector, paying materialization traffic for
+// every intermediate.
+type TectorwiseCosts struct {
+	VectorSize   int
+	PerPrimValue uint64 // uops per value inside a primitive (op + sel-vec handling)
+	PerVector    uint64 // primitive dispatch per vector
+	// ExecPressurePerStore is the additive execution-stall cost (in
+	// tenths of cycles) per materialized value: store-buffer and AGU
+	// pressure that port maxima do not capture. Calibrated against
+	// Figure 4's Execution~=Dcache split for Tectorwise.
+	ExecPressurePerStore uint64
+	Footprint            uint64
+}
+
+// DefaultTectorwiseCosts returns the calibrated Tectorwise model.
+func DefaultTectorwiseCosts() TectorwiseCosts {
+	return TectorwiseCosts{
+		VectorSize:           1024,
+		PerPrimValue:         3,
+		PerVector:            80,
+		ExecPressurePerStore: 10, // 1 cycle per materialized value
+		Footprint:            6 << 10,
+	}
+}
+
+// VectorFor returns the vector size Tectorwise uses on a machine with
+// the given L1D capacity: 1024 values on a 32 KB L1D, scaled down so a
+// handful of intermediate vectors always fit L1 (the engine's design
+// invariant), with a floor of 64.
+func (c TectorwiseCosts) VectorFor(l1dBytes int64) int {
+	v := int(l1dBytes / 32)
+	if v > c.VectorSize {
+		v = c.VectorSize
+	}
+	if v < 64 {
+		v = 64
+	}
+	return v
+}
+
+// HashCosts is the shared cost of one hash computation: a multiply-mix
+// hash is a short serial chain of multiplies and shifts — the
+// "costly hash computations" behind the paper's Execution stalls on
+// joins and group-bys.
+type HashCosts struct {
+	MulOps uint64
+	ALUOps uint64
+	Dep    uint64 // serial cycles of the hash dependency chain
+}
+
+// DefaultHashCosts returns the shared hash cost model.
+func DefaultHashCosts() HashCosts {
+	return HashCosts{MulOps: 2, ALUOps: 3, Dep: 7}
+}

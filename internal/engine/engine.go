@@ -1,0 +1,117 @@
+// Package engine defines what all four profiled systems share: the
+// workload definitions of the paper (projection, selection, join
+// micro-benchmarks over the TPC-H schema, and TPC-H Q1/Q6/Q9/Q18),
+// the result type used to cross-validate engines against each other,
+// and the calibrated instruction-cost models.
+package engine
+
+import "fmt"
+
+// Result is a query answer in a form comparable across engines:
+// single-aggregate queries populate Sum; grouped queries additionally
+// fold every output row into an order-insensitive checksum.
+type Result struct {
+	Sum   int64  // primary aggregate (SUM of the projected expression)
+	Rows  int64  // result rows produced
+	Check uint64 // order-insensitive checksum over result rows
+}
+
+// AddRow folds one output row into the checksum.
+func (r *Result) AddRow(vals ...int64) {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, v := range vals {
+		h ^= uint64(v) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	// XOR-fold keeps the checksum independent of row order.
+	r.Check ^= h
+	r.Rows++
+}
+
+// Equal reports whether two results agree.
+func (r Result) Equal(o Result) bool {
+	return r.Sum == o.Sum && r.Rows == o.Rows && r.Check == o.Check
+}
+
+// String formats the result for diagnostics.
+func (r Result) String() string {
+	return fmt.Sprintf("sum=%d rows=%d check=%016x", r.Sum, r.Rows, r.Check)
+}
+
+// JoinSize selects the paper's three join micro-benchmarks.
+type JoinSize int
+
+const (
+	// JoinSmall joins supplier and nation on nationkey and sums
+	// s_acctbal + s_suppkey.
+	JoinSmall JoinSize = iota
+	// JoinMedium joins partsupp and supplier on suppkey and sums
+	// ps_availqty + ps_supplycost.
+	JoinMedium
+	// JoinLarge joins lineitem and orders on orderkey and sums the four
+	// projection columns.
+	JoinLarge
+)
+
+// String names the size the way the figures abbreviate it.
+func (s JoinSize) String() string {
+	switch s {
+	case JoinSmall:
+		return "Sm."
+	case JoinMedium:
+		return "Md."
+	case JoinLarge:
+		return "Lr."
+	}
+	return "?"
+}
+
+// JoinSizes lists all three in figure order.
+func JoinSizes() []JoinSize { return []JoinSize{JoinSmall, JoinMedium, JoinLarge} }
+
+// ProjectionDegrees are the paper's p1..p4 projectivities.
+func ProjectionDegrees() []int { return []int{1, 2, 3, 4} }
+
+// Selectivities are the paper's selection selectivities.
+func Selectivities() []float64 { return []float64{0.10, 0.50, 0.90} }
+
+// SelectionCutoffs are the per-predicate date cutoffs giving each of
+// the three WHERE predicates (l_shipdate, l_commitdate, l_receiptdate)
+// the same individual selectivity.
+type SelectionCutoffs struct {
+	Selectivity float64
+	ShipDate    int64
+	CommitDate  int64
+	ReceiptDate int64
+}
+
+// TPCHQuery identifies the four profiled TPC-H queries.
+type TPCHQuery int
+
+const (
+	// Q1 is the low-cardinality group-by (4 groups).
+	Q1 TPCHQuery = iota
+	// Q6 is the highly selective filter (~2 % overall).
+	Q6
+	// Q9 is the join-intensive query.
+	Q9
+	// Q18 is the high-cardinality group-by.
+	Q18
+)
+
+// String names the query.
+func (q TPCHQuery) String() string {
+	switch q {
+	case Q1:
+		return "Q1"
+	case Q6:
+		return "Q6"
+	case Q9:
+		return "Q9"
+	case Q18:
+		return "Q18"
+	}
+	return "?"
+}
+
+// TPCHQueries lists the four profiled queries in figure order.
+func TPCHQueries() []TPCHQuery { return []TPCHQuery{Q1, Q6, Q9, Q18} }

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResultChecksumOrderInsensitive(t *testing.T) {
+	rows := [][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {-1, 0, 42}}
+	var a, b Result
+	for _, r := range rows {
+		a.AddRow(r...)
+	}
+	perm := rand.New(rand.NewSource(1)).Perm(len(rows))
+	for _, i := range perm {
+		b.AddRow(rows[i]...)
+	}
+	if a.Check != b.Check || a.Rows != b.Rows {
+		t.Fatalf("checksum depends on order: %v vs %v", a, b)
+	}
+}
+
+func TestResultChecksumOrderInsensitiveProperty(t *testing.T) {
+	f := func(vals []int64, seed int64) bool {
+		var a, b Result
+		for _, v := range vals {
+			a.AddRow(v)
+		}
+		perm := rand.New(rand.NewSource(seed)).Perm(len(vals))
+		for _, i := range perm {
+			b.AddRow(vals[i])
+		}
+		return a.Check == b.Check && a.Rows == b.Rows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultChecksumDistinguishesContent(t *testing.T) {
+	var a, b Result
+	a.AddRow(1, 2)
+	b.AddRow(1, 3)
+	if a.Check == b.Check {
+		t.Fatal("different rows must give different checksums (w.h.p.)")
+	}
+}
+
+func TestResultEqual(t *testing.T) {
+	var a, b Result
+	a.AddRow(5)
+	b.AddRow(5)
+	a.Sum, b.Sum = 10, 10
+	if !a.Equal(b) {
+		t.Fatal("identical results must be equal")
+	}
+	b.Sum = 11
+	if a.Equal(b) {
+		t.Fatal("different sums must differ")
+	}
+	if a.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestEnumStringers(t *testing.T) {
+	if JoinSmall.String() != "Sm." || JoinMedium.String() != "Md." || JoinLarge.String() != "Lr." {
+		t.Fatal("join size names wrong")
+	}
+	if Q1.String() != "Q1" || Q18.String() != "Q18" {
+		t.Fatal("query names wrong")
+	}
+	if len(JoinSizes()) != 3 || len(TPCHQueries()) != 4 || len(ProjectionDegrees()) != 4 || len(Selectivities()) != 3 {
+		t.Fatal("workload enumerations wrong")
+	}
+}
+
+func TestCostDefaultsSane(t *testing.T) {
+	r := DefaultRowStoreCosts()
+	c := DefaultColStoreCosts()
+	ty := DefaultTyperCosts()
+	tw := DefaultTectorwiseCosts()
+	// The paper's ordering: interpretation >> block-at-a-time >> tight loops.
+	if r.PerTuple <= c.PerValue || c.PerValue <= ty.PerColumn {
+		t.Fatal("cost ordering violated")
+	}
+	if c.JoinPerValue <= r.PerTuple/3 {
+		t.Fatal("DBMS C joins must cost more than DBMS R's join path (paper: 6.3x vs 4.5x)")
+	}
+	if tw.VectorSize != 1024 {
+		t.Fatal("Tectorwise vector size is 1024 on a 32 KB L1D")
+	}
+	if r.Footprint > 32<<10 {
+		t.Fatal("DBMS R's hot path must fit L1I (the paper's no-Icache-stall finding)")
+	}
+	if c.Footprint <= 32<<10 {
+		t.Fatal("DBMS C's footprint must exceed L1I (its mild Icache stalls)")
+	}
+}
+
+func TestVectorFor(t *testing.T) {
+	c := DefaultTectorwiseCosts()
+	if got := c.VectorFor(32 << 10); got != 1024 {
+		t.Fatalf("VectorFor(32K) = %d", got)
+	}
+	if got := c.VectorFor(4 << 10); got != 128 {
+		t.Fatalf("VectorFor(4K) = %d", got)
+	}
+	if got := c.VectorFor(64); got != 64 {
+		t.Fatalf("VectorFor floor = %d", got)
+	}
+}

@@ -1,0 +1,388 @@
+package tectorwise
+
+import (
+	"strings"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/join"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/tpch"
+)
+
+// Q1 is TPC-H Q1 vectorized: a selection primitive on shipdate, then
+// per-chunk hash-group primitives against the four-group aggregate
+// table. The tiny table stays in L1, leaving the arithmetic and
+// primitive overheads (Execution) as the bottleneck.
+func (e *Engine) Q1(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	l := &e.d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*2, uint64(n/e.vec+1))
+
+	type agg struct {
+		sumQty, sumPrice, sumDisc, sumCharge, count int64
+	}
+	ht := join.New(as, "tw.q1", 8)
+	aggR := as.Alloc("tw.q1.agg", 8*5*8)
+	var aggs [8]agg
+
+	cutoff := tpch.DateQ1Cutoff
+	sel := make([]int32, e.vec)
+	for start := 0; start < n; start += e.vec {
+		end := start + e.vec
+		if end > n {
+			end = n
+		}
+		cn := uint64(end - start)
+		// Selection primitive (passes ~98 %: near-perfectly predicted).
+		e.vecLoad(p, e.li.shipDate.Addr(start), cn)
+		k := 0
+		for i := start; i < end; i++ {
+			pass := l.ShipDate[i] <= cutoff
+			p.BranchOp(siteQ1Filter, pass)
+			if pass {
+				sel[k] = int32(i)
+				k++
+			}
+		}
+		e.arith(p, cn)
+		e.vecStore(p, e.selR[0].Base, uint64(k)/2+1)
+		e.primOverhead(p, cn)
+
+		// Gather the five value columns and the two flags for selected
+		// positions (nearly dense -> streaming pattern).
+		uk := uint64(k)
+		for _, col := range []uint64{
+			e.li.quantity.Addr(start), e.li.extendedPrice.Addr(start),
+			e.li.discount.Addr(start), e.li.tax.Addr(start),
+		} {
+			e.vecLoad(p, col, cn)
+			_ = col
+		}
+		p.SeqLoad(e.li.returnFlag.Addr(start), cn, 1)
+		p.SeqLoad(e.li.lineStatus.Addr(start), cn, 1)
+
+		// Hash-group primitives: key computation, table probe,
+		// aggregate updates (decimal arithmetic).
+		e.mulArith(p, uk*2)
+		for _, idx := range sel[:k] {
+			i := int(idx)
+			key := int64(l.ReturnFlag[i])<<8 | int64(l.LineStatus[i])
+			slot, _ := ht.LookupOrInsertProbed(p, siteQ1Filter+1, key)
+			a := &aggs[slot]
+			price := l.ExtendedPrice[i]
+			disc := l.Discount[i]
+			discPrice := price * (100 - disc) / 100
+			charge := discPrice * (100 + l.Tax[i]) / 100
+			a.sumQty += l.Quantity[i]
+			a.sumPrice += price
+			a.sumDisc += discPrice
+			a.sumCharge += charge
+			a.count++
+			p.Load(aggR.Base+uint64(slot)*40, 40)
+			p.Store(aggR.Base+uint64(slot)*40, 40)
+		}
+		e.mulArith(p, uk*4)
+		e.arith(p, uk*18)
+		// Materialized intermediates for the five aggregate inputs.
+		e.vecStore(p, e.vecR[3].Base, uk)
+		e.vecStore(p, e.vecR[4].Base, uk)
+		// The decimal-arithmetic chains of the aggregate updates
+		// saturate the multiply/ALU scheduler.
+		p.ExecPressure(uk * 16 / 10)
+		e.primOverhead(p, uk*3)
+	}
+
+	var res engine.Result
+	for s := 0; s < ht.Len(); s++ {
+		a := aggs[s]
+		res.Sum += a.sumPrice
+		res.AddRow(a.sumQty, a.sumPrice, a.sumDisc, a.sumCharge, a.count)
+	}
+	res.Rows = int64(ht.Len())
+	return res
+}
+
+// Q6 is TPC-H Q6 vectorized: five separate selection primitives, one
+// per condition, each evaluated at its own data selectivity — the
+// reason Tectorwise's Q6 is branch-misprediction bound (Section 6).
+func (e *Engine) Q6(p *probe.Probe, predicated bool) engine.Result {
+	l := &e.d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint, uint64(n/e.vec+1))
+
+	var revenue int64
+	selA := make([]int32, e.vec)
+	selB := make([]int32, e.vec)
+	for start := 0; start < n; start += e.vec {
+		end := start + e.vec
+		if end > n {
+			end = n
+		}
+		cn := uint64(end - start)
+
+		// Primitive 1+2: shipdate >= lo, shipdate < hi (dense).
+		e.vecLoad(p, e.li.shipDate.Addr(start), cn)
+		k := 0
+		for i := start; i < end; i++ {
+			p1 := l.ShipDate[i] >= tpch.DateQ6Lo
+			if !predicated {
+				p.BranchOp(siteQ6P1, p1)
+			}
+			if !p1 {
+				continue
+			}
+			p2 := l.ShipDate[i] < tpch.DateQ6Hi
+			if !predicated {
+				p.BranchOp(siteQ6P2, p2)
+			}
+			if p2 {
+				selA[k] = int32(i)
+				k++
+			}
+		}
+		e.arith(p, cn*2)
+		if predicated {
+			e.arith(p, cn*2)
+		}
+		e.vecStore(p, e.selR[0].Base, cn/2)
+		e.primOverhead(p, cn*2)
+
+		// Primitive 3+4: discount between 5 and 7 (sparse gathers).
+		k2 := 0
+		for _, idx := range selA[:k] {
+			p.SparseLoad(e.li.discount.Addr(int(idx)), 8)
+			d := l.Discount[idx]
+			p3 := d >= 5
+			p4 := d <= 7
+			if !predicated {
+				p.BranchOp(siteQ6P3, p3)
+				if p3 {
+					p.BranchOp(siteQ6P4, p4)
+				}
+			}
+			if p3 && p4 {
+				selB[k2] = idx
+				k2++
+			}
+		}
+		e.arith(p, uint64(k)*2)
+		if predicated {
+			e.arith(p, uint64(k)*2)
+		}
+		e.vecStore(p, e.selR[1].Base, uint64(k)/2+1)
+		e.primOverhead(p, uint64(k)*2)
+
+		// Primitive 5: quantity < 24.
+		k3 := 0
+		for _, idx := range selB[:k2] {
+			p.SparseLoad(e.li.quantity.Addr(int(idx)), 8)
+			p5 := l.Quantity[idx] < 24
+			if !predicated {
+				p.BranchOp(siteQ6P5, p5)
+			}
+			if p5 {
+				selA[k3] = idx
+				k3++
+			}
+		}
+		e.arith(p, uint64(k2))
+		if predicated {
+			e.arith(p, uint64(k2)*2)
+		}
+		e.vecStore(p, e.selR[2].Base, uint64(k2)/2+1)
+		e.primOverhead(p, uint64(k2))
+
+		// Projection: revenue += price * discount over survivors.
+		for _, idx := range selA[:k3] {
+			i := int(idx)
+			p.SparseLoad(e.li.extendedPrice.Addr(i), 8)
+			revenue += l.ExtendedPrice[i] * l.Discount[i] / 100
+		}
+		e.mulArith(p, uint64(k3))
+		e.arith(p, uint64(k3))
+		p.Dep(uint64(k3))
+		e.primOverhead(p, uint64(k3))
+	}
+	return engine.Result{Sum: revenue, Rows: 1}
+}
+
+func q9Key(partKey, suppKey int64) int64 { return partKey<<24 | suppKey }
+
+// Q9 is TPC-H Q9 vectorized: the same plan as the compiled engine
+// (green parts, partsupp, supplier and orders hash tables, one probe
+// pass over lineitem) with per-chunk hash/gather/compare primitives.
+func (e *Engine) Q9(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	p.SetFootprint(e.costs.Footprint*3, 1)
+
+	nParts := len(d.Part.PartKey)
+	greenHT := join.New(as, "tw.q9.green", nParts/16+8)
+	for i := 0; i < nParts; i++ {
+		name := d.Part.Name[i]
+		p.Load(e.part.name.Addr(i), e.part.name.Len(i))
+		p.ALU(uint64(len(name) / 4))
+		green := strings.Contains(name, "green")
+		p.BranchOp(siteQ9Green, green)
+		if green {
+			greenHT.InsertProbed(p, d.Part.PartKey[i])
+		}
+	}
+	psHT := e.buildCompositePS(p, as)
+	suppHT := e.buildProbed(p, as, "tw.q9.supp", e.supp.suppKey, d.Supplier.SuppKey)
+	ordHT := e.buildProbed(p, as, "tw.q9.ord", e.ord.orderKey, d.Orders.OrderKey)
+
+	aggHT := join.New(as, "tw.q9.agg", 25*8)
+	aggR := as.Alloc("tw.q9.agg.sums", 25*8*8)
+	aggs := make([]int64, 0, 25*8)
+
+	l := &d.Lineitem
+	n := l.Rows()
+	sel := make([]int32, e.vec)
+	for start := 0; start < n; start += e.vec {
+		end := start + e.vec
+		if end > n {
+			end = n
+		}
+		cn := uint64(end - start)
+		e.vecLoad(p, e.li.partKey.Addr(start), cn)
+		e.mulArith(p, cn*2)
+		k := 0
+		for i := start; i < end; i++ {
+			if greenHT.LookupProbed(p, siteQ9Green+1, l.PartKey[i]) >= 0 {
+				sel[k] = int32(i)
+				k++
+			}
+		}
+		e.vecStore(p, e.selR[0].Base, uint64(k)/2+1)
+		e.primOverhead(p, cn)
+
+		uk := uint64(k)
+		e.mulArith(p, uk*6) // hash primitives for the three joins
+		for _, idx := range sel[:k] {
+			i := int(idx)
+			p.SparseLoad(e.li.suppKey.Addr(i), 8)
+			psSlot := psHT.LookupProbed(p, siteQ9PS, q9Key(l.PartKey[i], l.SuppKey[i]))
+			if psSlot < 0 {
+				continue
+			}
+			sSlot := suppHT.LookupProbed(p, siteQ9Supp, l.SuppKey[i])
+			p.SparseLoad(e.li.orderKey.Addr(i), 8)
+			oSlot := ordHT.LookupProbed(p, siteQ9Ord, l.OrderKey[i])
+			if sSlot < 0 || oSlot < 0 {
+				continue
+			}
+			p.Load(e.supp.nationKey.Addr(int(sSlot)), 8)
+			p.Load(e.ord.orderDate.Addr(int(oSlot)), 8)
+			p.Load(e.ps.supplyCost.Addr(int(psSlot)), 8)
+			p.SparseLoad(e.li.extendedPrice.Addr(i), 8)
+			p.Load(e.li.discount.Addr(i), 8)
+			p.Load(e.li.quantity.Addr(i), 8)
+
+			nation := d.Supplier.NationKey[sSlot]
+			year := int64(tpch.Year(d.Orders.OrderDate[oSlot]))
+			profit := l.ExtendedPrice[i]*(100-l.Discount[i])/100 - d.PartSupp.SupplyCost[psSlot]*l.Quantity[i]
+			key := nation*10000 + year
+			slot, inserted := aggHT.LookupOrInsertProbed(p, siteQ9Ord+1, key)
+			if inserted {
+				aggs = append(aggs, 0)
+			}
+			aggs[slot] += profit
+			p.Load(aggR.Base+uint64(slot)*8, 8)
+			p.Store(aggR.Base+uint64(slot)*8, 8)
+		}
+		e.mulArith(p, uk*2)
+		e.arith(p, uk*8)
+		e.vecStore(p, e.vecR[3].Base, uk)
+		e.primOverhead(p, uk*4)
+	}
+
+	var res engine.Result
+	for s := 0; s < aggHT.Len(); s++ {
+		res.Sum += aggs[s]
+		res.AddRow(int64(s), aggs[s])
+	}
+	res.Rows = int64(len(aggs))
+	return res
+}
+
+// buildCompositePS builds the (partkey,suppkey)-keyed partsupp table.
+func (e *Engine) buildCompositePS(p *probe.Probe, as *probe.AddrSpace) *join.Table {
+	d := e.d
+	nPS := len(d.PartSupp.PartKey)
+	ht := join.New(as, "tw.q9.ps", nPS)
+	for start := 0; start < nPS; start += e.vec {
+		end := start + e.vec
+		if end > nPS {
+			end = nPS
+		}
+		cn := uint64(end - start)
+		e.vecLoad(p, e.ps.partKey.Addr(start), cn)
+		e.vecLoad(p, e.ps.suppKey.Addr(start), cn)
+		e.mulArith(p, cn*2)
+		e.arith(p, cn)
+		for i := start; i < end; i++ {
+			ht.InsertProbed(p, q9Key(d.PartSupp.PartKey[i], d.PartSupp.SuppKey[i]))
+		}
+		e.primOverhead(p, cn)
+	}
+	return ht
+}
+
+// Q18 is TPC-H Q18 vectorized: chunked hash aggregation of lineitem by
+// orderkey into an LLC-exceeding table, then the HAVING filter and the
+// order/customer join over the rare survivors.
+func (e *Engine) Q18(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	l := &d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*2, uint64(n/e.vec+1))
+
+	nO := len(d.Orders.OrderKey)
+	grpHT := join.New(as, "tw.q18.grp", nO)
+	aggR := as.Alloc("tw.q18.agg", uint64(nO)*8)
+	qty := make([]int64, 0, nO)
+
+	for start := 0; start < n; start += e.vec {
+		end := start + e.vec
+		if end > n {
+			end = n
+		}
+		cn := uint64(end - start)
+		e.vecLoad(p, e.li.orderKey.Addr(start), cn)
+		e.vecLoad(p, e.li.quantity.Addr(start), cn)
+		e.mulArith(p, cn*2)
+		for i := start; i < end; i++ {
+			slot, inserted := grpHT.LookupOrInsertProbed(p, siteQ18Having, l.OrderKey[i])
+			if inserted {
+				qty = append(qty, 0)
+			}
+			qty[slot] += l.Quantity[i]
+			p.Load(aggR.Base+uint64(slot)*8, 8)
+			p.Store(aggR.Base+uint64(slot)*8, 8)
+		}
+		e.arith(p, cn)
+		e.primOverhead(p, cn)
+	}
+
+	ordHT := e.buildProbed(p, as, "tw.q18.ord", e.ord.orderKey, d.Orders.OrderKey)
+	var res engine.Result
+	keys := grpHT.Keys()
+	for s := range qty {
+		p.Load(aggR.Base+uint64(s)*8, 8)
+		pass := qty[s] > 300
+		p.BranchOp(siteQ18Having+1, pass)
+		if !pass {
+			continue
+		}
+		oSlot := ordHT.LookupProbed(p, siteQ18Having+2, keys[s])
+		if oSlot < 0 {
+			continue
+		}
+		p.Load(e.ord.custKey.Addr(int(oSlot)), 8)
+		p.Load(e.ord.totalPrice.Addr(int(oSlot)), 8)
+		res.Sum += qty[s]
+		res.AddRow(d.Orders.CustKey[oSlot], keys[s], d.Orders.TotalPrice[oSlot], qty[s])
+	}
+	e.arith(p, uint64(len(qty)))
+	return res
+}

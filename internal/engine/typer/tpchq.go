@@ -1,0 +1,329 @@
+package typer
+
+import (
+	"strings"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/join"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/tpch"
+)
+
+// Q1 is TPC-H Q1: the low-cardinality group-by (4 groups). One fused
+// pass over lineitem filters on shipdate and updates a register-file
+// sized aggregation table — the paper's Execution-stall showcase
+// (hash + decimal arithmetic saturate the ALUs while data streams).
+func (e *Engine) Q1(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	l := &e.d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*3, 1)
+
+	type agg struct {
+		sumQty, sumPrice, sumDisc, sumCharge, count int64
+	}
+	ht := join.New(as, "ty.q1", 8)
+	aggR := as.Alloc("ty.q1.agg", 8*5*8)
+	var aggs [8]agg
+
+	cutoff := tpch.DateQ1Cutoff
+	// All six value columns plus the two flags stream fully: the filter
+	// passes ~98 % of rows.
+	un := uint64(n)
+	p.SeqLoad(e.li.shipDate.R.Base, un*8, 8)
+	p.SeqLoad(e.li.quantity.R.Base, un*8, 8)
+	p.SeqLoad(e.li.extendedPrice.R.Base, un*8, 8)
+	p.SeqLoad(e.li.discount.R.Base, un*8, 8)
+	p.SeqLoad(e.li.tax.R.Base, un*8, 8)
+	p.SeqLoad(e.li.returnFlag.R.Base, un, 1)
+	p.SeqLoad(e.li.lineStatus.R.Base, un, 1)
+
+	for i := 0; i < n; i++ {
+		p.ALU(1)
+		pass := l.ShipDate[i] <= cutoff
+		p.BranchOp(siteQ1Filter, pass)
+		if !pass {
+			continue
+		}
+		key := int64(l.ReturnFlag[i])<<8 | int64(l.LineStatus[i])
+		slot, _ := ht.LookupOrInsertProbed(p, siteQ1Filter+1, key)
+		a := &aggs[slot]
+		price := l.ExtendedPrice[i]
+		disc := l.Discount[i]
+		discPrice := price * (100 - disc) / 100
+		charge := discPrice * (100 + l.Tax[i]) / 100
+		a.sumQty += l.Quantity[i]
+		a.sumPrice += price
+		a.sumDisc += discPrice
+		a.sumCharge += charge
+		a.count++
+		// Aggregate updates: the hot table lives in L1; the decimal
+		// multiply/divide chains and overflow checks dominate
+		// (HyPer-style 128-bit decimal arithmetic).
+		p.Load(aggR.Base+uint64(slot)*40, 40)
+		p.Store(aggR.Base+uint64(slot)*40, 40)
+		p.Mul(6)
+		p.ALU(28)
+		// The 128-bit decimal multiply/normalize chain is serial:
+		// price*(1-disc) feeds *(1+tax) feeds the overflow check.
+		p.Dep(18)
+	}
+	e.loopTail(p, un)
+
+	var res engine.Result
+	for s := 0; s < ht.Len(); s++ {
+		a := aggs[s]
+		res.Sum += a.sumPrice
+		res.AddRow(a.sumQty, a.sumPrice, a.sumDisc, a.sumCharge, a.count)
+	}
+	res.Rows = int64(ht.Len())
+	return res
+}
+
+// Q6 is TPC-H Q6: the highly selective filter. The compiled engine
+// folds all five conditions into one arithmetic conjunction and emits
+// a single branch per tuple — so its predictor only ever faces the
+// ~2 % overall selectivity (Section 6: "Typer only experiences the 2 %
+// overall selectivity") and the query profiles like a scan:
+// Dcache-bound.
+func (e *Engine) Q6(p *probe.Probe, predicated bool) engine.Result {
+	if predicated {
+		return e.q6Predicated(p)
+	}
+	l := &e.d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint, 1)
+
+	var revenue int64
+	un := uint64(n)
+	// All three predicate columns are evaluated for every tuple (the
+	// conjunction is computed at once); the price column is loaded
+	// only for the rare qualifying tuples.
+	p.SeqLoad(e.li.shipDate.R.Base, un*8, 8)
+	p.SeqLoad(e.li.discount.R.Base, un*8, 8)
+	p.SeqLoad(e.li.quantity.R.Base, un*8, 8)
+	p.ALU(un * 7) // 5 compares + fused logic per tuple
+	for i := 0; i < n; i++ {
+		ship := l.ShipDate[i]
+		disc := l.Discount[i]
+		pass := ship >= tpch.DateQ6Lo && ship < tpch.DateQ6Hi &&
+			disc >= 5 && disc <= 7 && l.Quantity[i] < 24
+		p.BranchOp(siteQ6Ship, pass)
+		if !pass {
+			continue
+		}
+		p.SparseLoad(e.li.extendedPrice.Addr(i), 8)
+		p.Mul(1)
+		p.ALU(1)
+		p.Dep(1)
+		revenue += l.ExtendedPrice[i] * disc / 100
+	}
+	e.loopTail(p, un)
+	return engine.Result{Sum: revenue, Rows: 1}
+}
+
+// q6Predicated is the branch-free Q6 of Section 7: all four columns
+// stream fully and the five conditions fold into an arithmetic mask.
+func (e *Engine) q6Predicated(p *probe.Probe) engine.Result {
+	l := &e.d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint, 1)
+
+	var revenue int64
+	for i := 0; i < n; i++ {
+		ship := l.ShipDate[i]
+		disc := l.Discount[i]
+		pred := int64(1)
+		if ship < tpch.DateQ6Lo || ship >= tpch.DateQ6Hi {
+			pred = 0
+		}
+		if disc < 5 || disc > 7 {
+			pred = 0
+		}
+		if l.Quantity[i] >= 24 {
+			pred = 0
+		}
+		revenue += pred * (l.ExtendedPrice[i] * disc / 100)
+	}
+	un := uint64(n)
+	p.SeqLoad(e.li.shipDate.R.Base, un*8, 8)
+	p.SeqLoad(e.li.discount.R.Base, un*8, 8)
+	p.SeqLoad(e.li.quantity.R.Base, un*8, 8)
+	p.SeqLoad(e.li.extendedPrice.R.Base, un*8, 8)
+	// 5 compares + 4 logic ops + multiply + predicated accumulate.
+	p.ALU(un * 10)
+	p.Mul(un)
+	p.Dep(un)
+	e.loopTail(p, un)
+	return engine.Result{Sum: revenue, Rows: 1}
+}
+
+// q9Keys builds the composite partsupp key used by Q9's plan.
+func q9Key(partKey, suppKey int64) int64 { return partKey<<24 | suppKey }
+
+// Q9 is TPC-H Q9: the join-intensive query. The plan filters part on
+// '%green%', builds hash tables for green parts, partsupp, supplier
+// and orders, then drives everything from a single probe pass over
+// lineitem, grouping profit by (nation, order year).
+func (e *Engine) Q9(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	p.SetFootprint(e.costs.Footprint*4, 1)
+
+	// Build: green parts.
+	nParts := len(d.Part.PartKey)
+	greenHT := join.New(as, "ty.q9.green", nParts/16+8)
+	for i := 0; i < nParts; i++ {
+		name := d.Part.Name[i]
+		p.Load(e.part.name.Addr(i), e.part.name.Len(i))
+		p.ALU(uint64(len(name) / 4)) // SIMD-less substring scan
+		green := strings.Contains(name, "green")
+		p.BranchOp(siteQ9Green, green)
+		if green {
+			greenHT.InsertProbed(p, d.Part.PartKey[i])
+		}
+	}
+
+	// Build: partsupp keyed by (partkey, suppkey); slot = row index.
+	nPS := len(d.PartSupp.PartKey)
+	psHT := join.New(as, "ty.q9.ps", nPS)
+	p.SeqLoad(e.ps.partKey.R.Base, uint64(nPS)*8, 8)
+	p.SeqLoad(e.ps.suppKey.R.Base, uint64(nPS)*8, 8)
+	for i := 0; i < nPS; i++ {
+		psHT.InsertProbed(p, q9Key(d.PartSupp.PartKey[i], d.PartSupp.SuppKey[i]))
+	}
+
+	// Build: supplier keyed by suppkey; slot = row index.
+	nS := len(d.Supplier.SuppKey)
+	suppHT := join.New(as, "ty.q9.supp", nS)
+	p.SeqLoad(e.supp.suppKey.R.Base, uint64(nS)*8, 8)
+	for i := 0; i < nS; i++ {
+		suppHT.InsertProbed(p, d.Supplier.SuppKey[i])
+	}
+
+	// Build: orders keyed by orderkey; slot = row index.
+	nO := len(d.Orders.OrderKey)
+	ordHT := join.New(as, "ty.q9.ord", nO)
+	p.SeqLoad(e.ord.orderKey.R.Base, uint64(nO)*8, 8)
+	for i := 0; i < nO; i++ {
+		ordHT.InsertProbed(p, d.Orders.OrderKey[i])
+	}
+
+	// Probe pass over lineitem.
+	aggHT := join.New(as, "ty.q9.agg", 25*8)
+	aggR := as.Alloc("ty.q9.agg.sums", 25*8*8)
+	aggs := make([]int64, 0, 25*8)
+
+	l := &d.Lineitem
+	n := l.Rows()
+	un := uint64(n)
+	p.SeqLoad(e.li.partKey.R.Base, un*8, 8)
+	for i := 0; i < n; i++ {
+		if greenHT.LookupProbed(p, siteQ9Green+1, l.PartKey[i]) < 0 {
+			continue
+		}
+		p.SparseLoad(e.li.suppKey.Addr(i), 8)
+		psSlot := psHT.LookupProbed(p, siteQ9PS, q9Key(l.PartKey[i], l.SuppKey[i]))
+		if psSlot < 0 {
+			continue
+		}
+		sSlot := suppHT.LookupProbed(p, siteQ9Supp, l.SuppKey[i])
+		p.SparseLoad(e.li.orderKey.Addr(i), 8)
+		oSlot := ordHT.LookupProbed(p, siteQ9Ord, l.OrderKey[i])
+		if sSlot < 0 || oSlot < 0 {
+			continue
+		}
+		p.Load(e.supp.nationKey.Addr(int(sSlot)), 8)
+		p.Load(e.ord.orderDate.Addr(int(oSlot)), 8)
+		p.Load(e.ps.supplyCost.Addr(int(psSlot)), 8)
+		p.SparseLoad(e.li.extendedPrice.Addr(i), 8)
+		p.SparseLoad(e.li.discount.Addr(i), 8)
+		p.SparseLoad(e.li.quantity.Addr(i), 8)
+
+		nation := d.Supplier.NationKey[sSlot]
+		year := int64(tpch.Year(d.Orders.OrderDate[oSlot]))
+		profit := l.ExtendedPrice[i]*(100-l.Discount[i])/100 - d.PartSupp.SupplyCost[psSlot]*l.Quantity[i]
+		key := nation*10000 + year
+		slot, inserted := aggHT.LookupOrInsertProbed(p, siteQ9Ord+1, key)
+		if inserted {
+			aggs = append(aggs, 0)
+		}
+		aggs[slot] += profit
+		p.Load(aggR.Base+uint64(slot)*8, 8)
+		p.Store(aggR.Base+uint64(slot)*8, 8)
+		p.Mul(2)
+		p.ALU(8)
+		p.Dep(2)
+	}
+	e.loopTail(p, un)
+
+	var res engine.Result
+	for s := 0; s < aggHT.Len(); s++ {
+		res.Sum += aggs[s]
+		res.AddRow(int64(s), aggs[s])
+	}
+	res.Rows = int64(len(aggs))
+	return res
+}
+
+// Q18 is TPC-H Q18: the high-cardinality group-by. Lineitem is
+// aggregated by orderkey (one group per order — millions), the HAVING
+// clause keeps the rare huge orders, and the survivors join orders and
+// customer.
+func (e *Engine) Q18(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	l := &d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*3, 1)
+
+	// Phase 1: group lineitem by orderkey; the table exceeds the LLC.
+	nO := len(d.Orders.OrderKey)
+	grpHT := join.New(as, "ty.q18.grp", nO)
+	aggR := as.Alloc("ty.q18.agg", uint64(nO)*8)
+	qty := make([]int64, 0, nO)
+
+	un := uint64(n)
+	p.SeqLoad(e.li.orderKey.R.Base, un*8, 8)
+	p.SeqLoad(e.li.quantity.R.Base, un*8, 8)
+	for i := 0; i < n; i++ {
+		slot, inserted := grpHT.LookupOrInsertProbed(p, siteQ18Having, l.OrderKey[i])
+		if inserted {
+			qty = append(qty, 0)
+		}
+		qty[slot] += l.Quantity[i]
+		p.Load(aggR.Base+uint64(slot)*8, 8)
+		p.Store(aggR.Base+uint64(slot)*8, 8)
+		p.ALU(2)
+	}
+	e.loopTail(p, un)
+
+	// Phase 2: HAVING sum(quantity) > 300, then join orders + customer.
+	ordHT := join.New(as, "ty.q18.ord", nO)
+	p.SeqLoad(e.ord.orderKey.R.Base, uint64(nO)*8, 8)
+	for i := 0; i < nO; i++ {
+		ordHT.InsertProbed(p, d.Orders.OrderKey[i])
+	}
+	// HAVING sum(quantity) > 300 over the group table, joining the rare
+	// survivors against orders (native Q18 keeps the orderkey next to
+	// the aggregate; Keys exposes it per slot).
+	var res engine.Result
+	keys := grpHT.Keys()
+	for s := range qty {
+		p.Load(aggR.Base+uint64(s)*8, 8)
+		p.ALU(1)
+		pass := qty[s] > 300
+		p.BranchOp(siteQ18Having+1, pass)
+		if !pass {
+			continue
+		}
+		ok := keys[s]
+		oSlot := ordHT.LookupProbed(p, siteQ18Having+2, ok)
+		if oSlot < 0 {
+			continue
+		}
+		p.Load(e.ord.custKey.Addr(int(oSlot)), 8)
+		p.Load(e.ord.totalPrice.Addr(int(oSlot)), 8)
+		cust := d.Orders.CustKey[oSlot]
+		res.Sum += qty[s]
+		res.AddRow(cust, ok, d.Orders.TotalPrice[oSlot], qty[s])
+	}
+	return res
+}

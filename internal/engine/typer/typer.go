@@ -1,0 +1,403 @@
+// Package typer implements the paper's compiled-execution OLAP engine
+// (the Typer prototype of Kersten et al., modelled on HyPer): each
+// query runs as a single fused, data-centric loop — scan, filter,
+// arithmetic and aggregation in one pass per tuple, with a tiny
+// generated-code instruction footprint.
+//
+// Every method executes the query for real over the generated TPC-H
+// data and simultaneously reports the micro-ops, branches and memory
+// accesses the generated machine code would perform through the probe.
+package typer
+
+import (
+	"olapmicro/internal/engine"
+	"olapmicro/internal/join"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/storage"
+	"olapmicro/internal/tpch"
+)
+
+// Branch-site identifiers (stand-ins for static branch addresses).
+const (
+	siteSelPred1 = iota + 0x1000
+	siteSelPred2
+	siteSelPred3
+	siteJoinMatch
+	siteQ1Filter
+	siteQ6Ship
+	siteQ6Disc
+	siteQ6Qty
+	siteQ9Green
+	siteQ9PS
+	siteQ9Supp
+	siteQ9Ord
+	siteQ18Having
+	siteGroupBy
+)
+
+// Engine is a Typer instance bound to one database image.
+type Engine struct {
+	d     *tpch.Data
+	costs engine.TyperCosts
+
+	li struct {
+		orderKey, partKey, suppKey             storage.ColI64
+		quantity, extendedPrice, discount, tax storage.ColI64
+		shipDate, commitDate, receiptDate      storage.ColI64
+		returnFlag, lineStatus                 storage.ColI8
+	}
+	ord struct {
+		orderKey, custKey, orderDate, totalPrice storage.ColI64
+	}
+	supp struct {
+		suppKey, nationKey, acctBal storage.ColI64
+	}
+	nat struct {
+		nationKey, regionKey storage.ColI64
+	}
+	ps struct {
+		partKey, suppKey, availQty, supplyCost storage.ColI64
+	}
+	part struct {
+		partKey storage.ColI64
+		name    storage.ColStr
+	}
+	cust struct {
+		custKey storage.ColI64
+	}
+}
+
+// New binds a Typer engine to the data, carving simulated address
+// regions for every column from as.
+func New(d *tpch.Data, as *probe.AddrSpace) *Engine {
+	e := &Engine{d: d, costs: engine.DefaultTyperCosts()}
+	l := &d.Lineitem
+	e.li.orderKey = storage.NewColI64(as, "ty.l_orderkey", l.OrderKey)
+	e.li.partKey = storage.NewColI64(as, "ty.l_partkey", l.PartKey)
+	e.li.suppKey = storage.NewColI64(as, "ty.l_suppkey", l.SuppKey)
+	e.li.quantity = storage.NewColI64(as, "ty.l_quantity", l.Quantity)
+	e.li.extendedPrice = storage.NewColI64(as, "ty.l_extendedprice", l.ExtendedPrice)
+	e.li.discount = storage.NewColI64(as, "ty.l_discount", l.Discount)
+	e.li.tax = storage.NewColI64(as, "ty.l_tax", l.Tax)
+	e.li.shipDate = storage.NewColI64(as, "ty.l_shipdate", l.ShipDate)
+	e.li.commitDate = storage.NewColI64(as, "ty.l_commitdate", l.CommitDate)
+	e.li.receiptDate = storage.NewColI64(as, "ty.l_receiptdate", l.ReceiptDate)
+	e.li.returnFlag = storage.NewColI8(as, "ty.l_returnflag", l.ReturnFlag)
+	e.li.lineStatus = storage.NewColI8(as, "ty.l_linestatus", l.LineStatus)
+	o := &d.Orders
+	e.ord.orderKey = storage.NewColI64(as, "ty.o_orderkey", o.OrderKey)
+	e.ord.custKey = storage.NewColI64(as, "ty.o_custkey", o.CustKey)
+	e.ord.orderDate = storage.NewColI64(as, "ty.o_orderdate", o.OrderDate)
+	e.ord.totalPrice = storage.NewColI64(as, "ty.o_totalprice", o.TotalPrice)
+	s := &d.Supplier
+	e.supp.suppKey = storage.NewColI64(as, "ty.s_suppkey", s.SuppKey)
+	e.supp.nationKey = storage.NewColI64(as, "ty.s_nationkey", s.NationKey)
+	e.supp.acctBal = storage.NewColI64(as, "ty.s_acctbal", s.AcctBal)
+	n := &d.Nation
+	e.nat.nationKey = storage.NewColI64(as, "ty.n_nationkey", n.NationKey)
+	e.nat.regionKey = storage.NewColI64(as, "ty.n_regionkey", n.RegionKey)
+	p := &d.PartSupp
+	e.ps.partKey = storage.NewColI64(as, "ty.ps_partkey", p.PartKey)
+	e.ps.suppKey = storage.NewColI64(as, "ty.ps_suppkey", p.SuppKey)
+	e.ps.availQty = storage.NewColI64(as, "ty.ps_availqty", p.AvailQty)
+	e.ps.supplyCost = storage.NewColI64(as, "ty.ps_supplycost", p.SupplyCost)
+	e.part.partKey = storage.NewColI64(as, "ty.p_partkey", d.Part.PartKey)
+	e.part.name = storage.NewColStr(as, "ty.p_name", d.Part.Name)
+	e.cust.custKey = storage.NewColI64(as, "ty.c_custkey", d.Customer.CustKey)
+	return e
+}
+
+// Name identifies the engine in figures.
+func (e *Engine) Name() string { return "Typer" }
+
+// projCols returns the projection micro-benchmark's column order:
+// l_extendedprice, l_discount, l_tax, l_quantity (Section 2).
+func (e *Engine) projCols() [4]storage.ColI64 {
+	return [4]storage.ColI64{e.li.extendedPrice, e.li.discount, e.li.tax, e.li.quantity}
+}
+
+// Projection runs SUM(col1 [+ col2 ...]) over lineitem with the given
+// degree (1..4): one fused loop reading degree columns.
+func (e *Engine) Projection(p *probe.Probe, degree int) engine.Result {
+	if degree < 1 || degree > 4 {
+		degree = 4
+	}
+	cols := e.projCols()
+	n := e.d.Lineitem.Rows()
+	p.SetFootprint(e.costs.Footprint, 1)
+
+	var sum int64
+	switch degree {
+	case 1:
+		for i := 0; i < n; i++ {
+			sum += cols[0].V[i]
+		}
+	case 2:
+		for i := 0; i < n; i++ {
+			sum += cols[0].V[i] + cols[1].V[i]
+		}
+	case 3:
+		for i := 0; i < n; i++ {
+			sum += cols[0].V[i] + cols[1].V[i] + cols[2].V[i]
+		}
+	default:
+		for i := 0; i < n; i++ {
+			sum += cols[0].V[i] + cols[1].V[i] + cols[2].V[i] + cols[3].V[i]
+		}
+	}
+
+	// Events of the generated loop: one load and one add per touched
+	// value, loop control amortized by 4x unrolling, the accumulator
+	// dependency chain, and the streaming column reads.
+	un := uint64(n)
+	for c := 0; c < degree; c++ {
+		p.SeqLoad(cols[c].R.Base, un*8, 8)
+		p.ALU(un * e.costs.PerColumn)
+	}
+	p.ALU(un * e.costs.LoopPerTuple / 4 / 2)
+	p.LoopBranch(siteSelPred1, un/4)
+	p.Dep(un) // serial accumulator adds, 1 cycle each
+
+	return engine.Result{Sum: sum, Rows: 1}
+}
+
+// Selection runs the selection micro-benchmark: the degree-4
+// projection under a conjunctive WHERE over l_shipdate, l_commitdate
+// and l_receiptdate, each with cutoffs' individual selectivity.
+// The compiled engine evaluates predicates together (Section 4): the
+// first two fold into one arithmetic conjunction behind a single
+// branch, the third short-circuits behind it.
+func (e *Engine) Selection(p *probe.Probe, cut engine.SelectionCutoffs, predicated bool) engine.Result {
+	if predicated {
+		return e.selectionPredicated(p, cut)
+	}
+	l := &e.d.Lineitem
+	n := l.Rows()
+	cols := e.projCols()
+	p.SetFootprint(e.costs.Footprint, 1)
+
+	var sum int64
+	// The compiled engine folds the first two predicates into one
+	// arithmetic conjunction with a single branch (selectivity s^2),
+	// then short-circuits the third — which is why its predictor sees
+	// far lower effective selectivities than the vectorized engine's
+	// per-predicate primitives (Section 4).
+	p.SeqLoad(e.li.shipDate.R.Base, uint64(n)*8, 8)
+	p.SeqLoad(e.li.commitDate.R.Base, uint64(n)*8, 8)
+	for i := 0; i < n; i++ {
+		p.ALU(4)
+		pass12 := l.ShipDate[i] < cut.ShipDate && l.CommitDate[i] < cut.CommitDate
+		p.BranchOp(siteSelPred1, pass12)
+		if !pass12 {
+			continue
+		}
+		p.SparseLoad(e.li.receiptDate.Addr(i), 8)
+		p.ALU(2)
+		pass3 := l.ReceiptDate[i] < cut.ReceiptDate
+		p.BranchOp(siteSelPred3, pass3)
+		if !pass3 {
+			continue
+		}
+		var v int64
+		for c := 0; c < 4; c++ {
+			p.SparseLoad(cols[c].Addr(i), 8)
+			v += cols[c].V[i]
+		}
+		p.ALU(4)
+		p.Dep(1)
+		sum += v
+	}
+	un := uint64(n)
+	p.ALU(un * e.costs.LoopPerTuple / 4 / 2)
+	p.LoopBranch(siteSelPred1+100, un/4)
+	return engine.Result{Sum: sum, Rows: 1}
+}
+
+// selectionPredicated is the branch-free variant (Section 7): the
+// predicate is computed as an arithmetic 0/1 value and multiplied into
+// the aggregate, so every column is scanned fully for all
+// selectivities — more computation, no branches.
+func (e *Engine) selectionPredicated(p *probe.Probe, cut engine.SelectionCutoffs) engine.Result {
+	l := &e.d.Lineitem
+	n := l.Rows()
+	cols := e.projCols()
+	p.SetFootprint(e.costs.Footprint, 1)
+
+	var sum int64
+	for i := 0; i < n; i++ {
+		pred := int64(1)
+		if l.ShipDate[i] >= cut.ShipDate {
+			pred = 0
+		}
+		if l.CommitDate[i] >= cut.CommitDate {
+			pred = 0
+		}
+		if l.ReceiptDate[i] >= cut.ReceiptDate {
+			pred = 0
+		}
+		v := cols[0].V[i] + cols[1].V[i] + cols[2].V[i] + cols[3].V[i]
+		sum += pred * v
+	}
+	un := uint64(n)
+	// All seven columns are streamed unconditionally.
+	for _, c := range []storage.ColI64{e.li.shipDate, e.li.commitDate, e.li.receiptDate, cols[0], cols[1], cols[2], cols[3]} {
+		p.SeqLoad(c.R.Base, un*8, 8)
+	}
+	// Per tuple: 3 compares + 2 ANDs for the predicate, 3 adds for the
+	// projection, 1 predicated accumulate (conditional-move class).
+	p.ALU(un * 9)
+	p.Dep(un)
+	p.ALU(un * e.costs.LoopPerTuple / 4 / 2)
+	p.LoopBranch(siteSelPred1+200, un/4)
+	return engine.Result{Sum: sum, Rows: 1}
+}
+
+// Join runs the paper's hash-join micro-benchmarks. The compiled
+// engine fuses the build into the smaller table's scan and the probe
+// plus aggregation into the larger table's scan.
+func (e *Engine) Join(p *probe.Probe, as *probe.AddrSpace, size engine.JoinSize) engine.Result {
+	p.SetFootprint(e.costs.Footprint*2, 1)
+	switch size {
+	case engine.JoinSmall:
+		return e.joinSmall(p, as)
+	case engine.JoinMedium:
+		return e.joinMedium(p, as)
+	default:
+		return e.joinLarge(p, as)
+	}
+}
+
+// joinSmall joins supplier with nation on nationkey and sums
+// s_acctbal + s_suppkey for matches.
+func (e *Engine) joinSmall(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	nat := e.d.Nation
+	ht := join.New(as, "ty.join.nation", len(nat.NationKey))
+	p.SeqLoad(e.nat.nationKey.R.Base, uint64(len(nat.NationKey))*8, 8)
+	for _, k := range nat.NationKey {
+		ht.InsertProbed(p, k)
+	}
+	s := e.d.Supplier
+	n := len(s.SuppKey)
+	p.SeqLoad(e.supp.nationKey.R.Base, uint64(n)*8, 8)
+	var sum int64
+	for i := 0; i < n; i++ {
+		if ht.LookupProbed(p, siteJoinMatch, s.NationKey[i]) >= 0 {
+			p.SparseLoad(e.supp.acctBal.Addr(i), 8)
+			p.SparseLoad(e.supp.suppKey.Addr(i), 8)
+			p.ALU(2)
+			p.Dep(1)
+			sum += s.AcctBal[i] + s.SuppKey[i]
+		}
+	}
+	e.loopTail(p, uint64(n))
+	return engine.Result{Sum: sum, Rows: 1}
+}
+
+// joinMedium joins partsupp with supplier on suppkey and sums
+// ps_availqty + ps_supplycost.
+func (e *Engine) joinMedium(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	s := e.d.Supplier
+	ht := join.New(as, "ty.join.supplier", len(s.SuppKey))
+	p.SeqLoad(e.supp.suppKey.R.Base, uint64(len(s.SuppKey))*8, 8)
+	for _, k := range s.SuppKey {
+		ht.InsertProbed(p, k)
+	}
+	ps := e.d.PartSupp
+	n := len(ps.PartKey)
+	p.SeqLoad(e.ps.suppKey.R.Base, uint64(n)*8, 8)
+	var sum int64
+	for i := 0; i < n; i++ {
+		if ht.LookupProbed(p, siteJoinMatch, ps.SuppKey[i]) >= 0 {
+			p.SparseLoad(e.ps.availQty.Addr(i), 8)
+			p.SparseLoad(e.ps.supplyCost.Addr(i), 8)
+			p.ALU(2)
+			p.Dep(1)
+			sum += ps.AvailQty[i] + ps.SupplyCost[i]
+		}
+	}
+	e.loopTail(p, uint64(n))
+	return engine.Result{Sum: sum, Rows: 1}
+}
+
+// joinLarge joins lineitem with orders on orderkey and sums the four
+// projection columns for matches.
+func (e *Engine) joinLarge(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	o := e.d.Orders
+	ht := join.New(as, "ty.join.orders", len(o.OrderKey))
+	p.SeqLoad(e.ord.orderKey.R.Base, uint64(len(o.OrderKey))*8, 8)
+	for _, k := range o.OrderKey {
+		ht.InsertProbed(p, k)
+	}
+	l := &e.d.Lineitem
+	n := l.Rows()
+	cols := e.projCols()
+	p.SeqLoad(e.li.orderKey.R.Base, uint64(n)*8, 8)
+	var sum int64
+	for i := 0; i < n; i++ {
+		if ht.LookupProbed(p, siteJoinMatch, l.OrderKey[i]) >= 0 {
+			var v int64
+			for c := 0; c < 4; c++ {
+				p.SparseLoad(cols[c].Addr(i), 8)
+				v += cols[c].V[i]
+			}
+			p.ALU(4)
+			p.Dep(1)
+			sum += v
+		}
+	}
+	e.loopTail(p, uint64(n))
+	return engine.Result{Sum: sum, Rows: 1}
+}
+
+// GroupBy runs the group-by micro-benchmark the paper describes but
+// does not plot: SUM(l_extendedprice) grouped by the composite
+// (l_suppkey, l_partkey). Its hash table is the subject of the
+// chain-length comparison in Section 6.
+func (e *Engine) GroupBy(p *probe.Probe, as *probe.AddrSpace) (engine.Result, *join.Table) {
+	l := &e.d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*2, 1)
+	// Group-by operators size their tables from cardinality estimates,
+	// and composite-key group counts are systematically underestimated
+	// — which is why group-by hash tables end up more loaded and more
+	// irregular than join tables built at the exact build-side size
+	// (the Section 6 chain-length comparison).
+	est := len(e.d.Part.PartKey) + 1
+	ht := join.New(as, "ty.groupby", est)
+	aggR := as.Alloc("ty.groupby.agg", uint64(n/2+1)*8)
+	agg := make([]int64, 0, n/2+1)
+
+	p.SeqLoad(e.li.suppKey.R.Base, uint64(n)*8, 8)
+	p.SeqLoad(e.li.partKey.R.Base, uint64(n)*8, 8)
+	p.SeqLoad(e.li.extendedPrice.R.Base, uint64(n)*8, 8)
+	for i := 0; i < n; i++ {
+		// Composite grouping key: mixing two correlated attributes is
+		// what makes group-by tables more irregular than join tables.
+		key := l.SuppKey[i]*1_000_003 + l.PartKey[i]
+		p.Mul(1)
+		p.ALU(1)
+		slot, inserted := ht.LookupOrInsertProbed(p, siteGroupBy, key)
+		if inserted {
+			agg = append(agg, 0)
+		}
+		agg[slot] += l.ExtendedPrice[i]
+		p.Load(aggR.Base+uint64(slot)*8, 8)
+		p.Store(aggR.Base+uint64(slot)*8, 8)
+		p.ALU(1)
+	}
+	e.loopTail(p, uint64(n))
+
+	var res engine.Result
+	for s, v := range agg {
+		res.Sum += v
+		res.AddRow(int64(s), v)
+	}
+	res.Rows = int64(len(agg))
+	return res, ht
+}
+
+// loopTail charges amortized loop-control events for n iterations.
+func (e *Engine) loopTail(p *probe.Probe, n uint64) {
+	p.ALU(n * e.costs.LoopPerTuple / 4 / 2)
+	p.LoopBranch(siteSelPred3+300, n/4)
+}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"olapmicro/internal/engine"
+)
+
+func TestExtGroupByBehavesLikeJoin(t *testing.T) {
+	hh := h(t)
+	f := ExtGroupBy(hh)
+	if len(f.Series) != 2 {
+		t.Fatalf("expected both engines, got %d series", len(f.Series))
+	}
+	// The paper omitted the group-by "as it behaves similarly to the
+	// join at the micro-architectural level": stall-dominated, Dcache
+	// the largest category.
+	join := hh.MeasureJoin(Typer, engine.JoinLarge, Opts{})
+	for _, s := range f.Series {
+		if s.Profile.Breakdown.StallRatio() < 0.5 {
+			t.Errorf("%v group-by stall ratio %.0f%%, expected join-like domination",
+				s.System, 100*s.Profile.Breakdown.StallRatio())
+		}
+		_, dc, _, _, _ := s.Profile.Breakdown.StallShares()
+		if dc < 0.5 {
+			t.Errorf("%v group-by Dcache share %.0f%%, expected dominant", s.System, 100*dc)
+		}
+		if s.Result.Rows == 0 {
+			t.Errorf("%v group-by produced no groups", s.System)
+		}
+	}
+	_, dcJoin, _, _, _ := join.Profile.Breakdown.StallShares()
+	_, dcGrp, _, _, _ := f.Series[0].Profile.Breakdown.StallShares()
+	if dcGrp < dcJoin-0.35 {
+		t.Errorf("group-by Dcache share %.0f%% far from the join's %.0f%%", 100*dcGrp, 100*dcJoin)
+	}
+}
+
+func TestExtAblationMLPMonotone(t *testing.T) {
+	f := ExtAblationMLP(h(t))
+	prev := 1e18
+	for _, s := range f.Series {
+		if s.Profile.Seconds > prev {
+			t.Fatalf("response time must fall as MLP grows: %s", s.Label)
+		}
+		prev = s.Profile.Seconds
+		// The conclusion must be robust: Dcache dominates at every MLP.
+		_, dc, _, _, _ := s.Profile.Breakdown.StallShares()
+		if dc < 0.5 {
+			t.Errorf("%s: Dcache share %.0f%% — shape not robust to the MLP constant", s.Label, 100*dc)
+		}
+	}
+}
+
+func TestExtAblationPfMonotone(t *testing.T) {
+	f := ExtAblationPf(h(t))
+	prev := 1e18
+	for i, s := range f.Series {
+		if s.Profile.Seconds > prev*1.0001 {
+			t.Fatalf("run-ahead must never slow the scan (series %d, %s)", i, s.Label)
+		}
+		prev = s.Profile.Seconds
+	}
+	// Once bandwidth-bound, more run-ahead cannot help.
+	d16 := f.Find(Typer, "dist=16").Profile.Seconds
+	d64 := f.Find(Typer, "dist=64").Profile.Seconds
+	if d64 < d16*0.99 {
+		t.Errorf("dist=64 (%.3g) beat dist=16 (%.3g) beyond the BW ceiling", d64, d16)
+	}
+}
+
+func TestExtScalingReportsShapes(t *testing.T) {
+	f := ExtScaling(h(t))
+	if len(f.Series) != 2 || len(f.Notes) < 2 {
+		t.Fatal("scaling self-check incomplete")
+	}
+	if !f.Series[0].Profile.BWBound {
+		t.Error("projection p4 must be bandwidth-bound in every configuration")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Fig3(h(t))
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(f.Series)+1 {
+		t.Fatalf("CSV rows %d, want %d", len(lines), len(f.Series)+1)
+	}
+	if !strings.HasPrefix(lines[0], "system,point,retiring") {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Typer,p1,") {
+		t.Fatalf("CSV first row wrong: %s", lines[1])
+	}
+}
+
+func TestAllExperimentsRegistry(t *testing.T) {
+	all := AllExperiments()
+	if len(all) != 39 {
+		t.Fatalf("expected 39 experiments, got %d", len(all))
+	}
+	for _, id := range []string{"ext-groupby", "ext-ablation-mlp", "ext-ablation-pf", "ext-scaling"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("extension %s not in registry", id)
+		}
+	}
+}

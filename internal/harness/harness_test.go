@@ -1,0 +1,644 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"olapmicro/internal/engine"
+)
+
+// The whole package shares one harness: measurements are memoized, so
+// each workload is simulated once no matter how many tests assert on
+// it.
+var (
+	sharedOnce sync.Once
+	shared     *Harness
+)
+
+func h(t *testing.T) *Harness {
+	t.Helper()
+	sharedOnce.Do(func() { shared = New(QuickConfig()) })
+	return shared
+}
+
+// --- Correctness: all engines must compute identical answers. ---
+
+func TestCrossEngineProjectionResults(t *testing.T) {
+	hh := h(t)
+	for _, d := range engine.ProjectionDegrees() {
+		base := hh.MeasureProjection(Typer, d, Opts{}).Result
+		for _, sys := range AllSystems() {
+			got := hh.MeasureProjection(sys, d, Opts{}).Result
+			if got.Sum != base.Sum {
+				t.Errorf("projection p%d: %v computed %d, Typer %d", d, sys, got.Sum, base.Sum)
+			}
+		}
+	}
+}
+
+func TestCrossEngineSelectionResults(t *testing.T) {
+	hh := h(t)
+	for _, sel := range engine.Selectivities() {
+		base := hh.MeasureSelection(Typer, sel, false, Opts{}).Result
+		for _, sys := range AllSystems() {
+			got := hh.MeasureSelection(sys, sel, false, Opts{}).Result
+			if got.Sum != base.Sum {
+				t.Errorf("selection %.0f%%: %v computed %d, Typer %d", sel*100, sys, got.Sum, base.Sum)
+			}
+		}
+		// Predicated variants must agree with branched ones.
+		for _, sys := range HighPerf() {
+			got := hh.MeasureSelection(sys, sel, true, Opts{}).Result
+			if got.Sum != base.Sum {
+				t.Errorf("predicated selection %.0f%%: %v computed %d, want %d", sel*100, sys, got.Sum, base.Sum)
+			}
+		}
+	}
+}
+
+func TestCrossEngineJoinResults(t *testing.T) {
+	hh := h(t)
+	for _, size := range engine.JoinSizes() {
+		base := hh.MeasureJoin(Typer, size, Opts{}).Result
+		for _, sys := range AllSystems() {
+			got := hh.MeasureJoin(sys, size, Opts{}).Result
+			if got.Sum != base.Sum {
+				t.Errorf("join %v: %v computed %d, Typer %d", size, sys, got.Sum, base.Sum)
+			}
+		}
+	}
+}
+
+func TestTPCHResultsTyperVsTectorwise(t *testing.T) {
+	hh := h(t)
+	for _, q := range engine.TPCHQueries() {
+		ty := hh.MeasureTPCH(Typer, q, false, Opts{}).Result
+		tw := hh.MeasureTPCH(Tectorwise, q, false, Opts{}).Result
+		if !ty.Equal(tw) {
+			t.Errorf("%v: Typer %v vs Tectorwise %v", q, ty, tw)
+		}
+		if ty.Rows == 0 {
+			t.Errorf("%v returned no rows", q)
+		}
+	}
+	// Predicated Q6 must agree too.
+	ty := hh.MeasureTPCH(Typer, engine.Q6, true, Opts{}).Result
+	tw := hh.MeasureTPCH(Tectorwise, engine.Q6, true, Opts{}).Result
+	base := hh.MeasureTPCH(Typer, engine.Q6, false, Opts{}).Result
+	if ty.Sum != base.Sum || tw.Sum != base.Sum {
+		t.Errorf("predicated Q6 disagrees: %d / %d vs %d", ty.Sum, tw.Sum, base.Sum)
+	}
+}
+
+func TestQ1HasFourGroups(t *testing.T) {
+	r := h(t).MeasureTPCH(Typer, engine.Q1, false, Opts{}).Result
+	if r.Rows != 4 {
+		t.Fatalf("Q1 produced %d groups, want 4 (A/F, N/F, N/O, R/F)", r.Rows)
+	}
+}
+
+func TestSIMDComputesSameAnswers(t *testing.T) {
+	hh := h(t)
+	scalar, simd := hh.simdOpts()
+	if a, b := hh.MeasureProjection(Tectorwise, 4, scalar).Result, hh.MeasureProjection(Tectorwise, 4, simd).Result; a.Sum != b.Sum {
+		t.Errorf("SIMD projection differs: %d vs %d", a.Sum, b.Sum)
+	}
+	if a, b := hh.MeasureJoinProbeOnly(scalar).Result, hh.MeasureJoinProbeOnly(simd).Result; a.Sum != b.Sum {
+		t.Errorf("SIMD join probe differs: %d vs %d", a.Sum, b.Sum)
+	}
+}
+
+// --- Shape: each figure must reproduce the paper's qualitative claims. ---
+
+func TestFig1CommercialRetiring(t *testing.T) {
+	f := Fig1(h(t))
+	for _, s := range f.Series {
+		r := s.Profile.Breakdown.RetiringRatio()
+		switch s.System {
+		case DBMSR:
+			if r < 0.35 || r > 0.70 {
+				t.Errorf("DBMS R %s retiring %.0f%%, paper ~50%%", s.Label, 100*r)
+			}
+		case DBMSC:
+			if r < 0.70 {
+				t.Errorf("DBMS C %s retiring %.0f%%, paper ~90%%", s.Label, 100*r)
+			}
+		}
+	}
+	// DBMS C retires a larger share than DBMS R at every projectivity.
+	for _, d := range []string{"p1", "p2", "p3", "p4"} {
+		rr := f.Find(DBMSR, d).Profile.Breakdown.RetiringRatio()
+		rc := f.Find(DBMSC, d).Profile.Breakdown.RetiringRatio()
+		if rc <= rr {
+			t.Errorf("%s: DBMS C retiring %.0f%% not above DBMS R %.0f%%", d, 100*rc, 100*rr)
+		}
+	}
+}
+
+func TestFig2CommercialStallMix(t *testing.T) {
+	f := Fig2(h(t))
+	for _, s := range f.Series {
+		e, d, _, ic, br := s.Profile.Breakdown.StallShares()
+		switch s.System {
+		case DBMSR:
+			if e+d < 0.6 {
+				t.Errorf("DBMS R %s: Dcache+Execution %.0f%% of stalls, paper: majority", s.Label, 100*(e+d))
+			}
+			if ic > 0.15 {
+				t.Errorf("DBMS R %s: Icache %.0f%% — the paper's no-Icache-stall finding", s.Label, 100*ic)
+			}
+		case DBMSC:
+			if br+ic < 0.3 {
+				t.Errorf("DBMS C %s: BranchMisp+Icache %.0f%% of stalls, paper: majority", s.Label, 100*(br+ic))
+			}
+		}
+	}
+}
+
+func TestFig3HighPerfStalls(t *testing.T) {
+	f := Fig3(h(t))
+	var twStalls []float64
+	for _, s := range f.Series {
+		st := s.Profile.Breakdown.StallRatio()
+		if st < 0.30 || st > 0.85 {
+			t.Errorf("%v %s stall ratio %.0f%%, paper: 25-82%%", s.System, s.Label, 100*st)
+		}
+		if s.System == Tectorwise {
+			twStalls = append(twStalls, st)
+		}
+	}
+	// Typer's stall ratio rises with projectivity; Tectorwise stays flat
+	// ("the stall cycles breakdown remains stable").
+	ty1 := f.Find(Typer, "p1").Profile.Breakdown.StallRatio()
+	ty4 := f.Find(Typer, "p4").Profile.Breakdown.StallRatio()
+	if ty4 < ty1-0.03 {
+		t.Errorf("Typer stall ratio fell with projectivity: p1 %.0f%% p4 %.0f%%", 100*ty1, 100*ty4)
+	}
+	min, max := twStalls[0], twStalls[0]
+	for _, v := range twStalls {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min > 0.15 {
+		t.Errorf("Tectorwise stall ratio not flat: spread %.0f pp", 100*(max-min))
+	}
+}
+
+func TestFig4TyperDcacheDominant(t *testing.T) {
+	f := Fig4(h(t))
+	for _, d := range []string{"p2", "p3", "p4"} {
+		_, dc, _, _, _ := f.Find(Typer, d).Profile.Breakdown.StallShares()
+		if dc < 0.6 {
+			t.Errorf("Typer %s Dcache share %.0f%%, paper: dominant and increasing", d, 100*dc)
+		}
+	}
+	e, dc, _, _, _ := f.Find(Tectorwise, "p4").Profile.Breakdown.StallShares()
+	if e < 0.2 || dc < 0.2 {
+		t.Errorf("Tectorwise p4: exec %.0f%% dcache %.0f%%, paper: both contribute", 100*e, 100*dc)
+	}
+}
+
+func TestFig5BandwidthSaturation(t *testing.T) {
+	f := Fig5(h(t))
+	max := h(t).Cfg.Machine.PerCoreBW.Sequential / 1e9
+	for _, d := range []string{"p2", "p3", "p4"} {
+		bw := f.Find(Typer, d).Profile.BandwidthGBs
+		if bw < max*0.9 {
+			t.Errorf("Typer %s bandwidth %.1f, paper: saturates ~%.0f from p2 on", d, bw, max)
+		}
+	}
+	if bw := f.Find(Typer, "p1").Profile.BandwidthGBs; bw > max*0.99 {
+		t.Errorf("Typer p1 bandwidth %.1f should sit below the %.0f max", bw, max)
+	}
+	for _, d := range []string{"p1", "p2", "p3", "p4"} {
+		tw := f.Find(Tectorwise, d).Profile.BandwidthGBs
+		ty := f.Find(Typer, d).Profile.BandwidthGBs
+		if tw >= ty {
+			t.Errorf("%s: Tectorwise bandwidth %.1f not below Typer %.1f (materialization overheads)", d, tw, ty)
+		}
+	}
+}
+
+func TestFig6ResponseTimeOrders(t *testing.T) {
+	f := Fig6(h(t))
+	ty := f.Find(Typer, "p4").Profile.Seconds
+	r := f.Find(DBMSR, "p4").Profile.Seconds / ty
+	c := f.Find(DBMSC, "p4").Profile.Seconds / ty
+	tw := f.Find(Tectorwise, "p4").Profile.Seconds / ty
+	if r < 50 || r > 500 {
+		t.Errorf("DBMS R %.0fx Typer, paper: two orders of magnitude", r)
+	}
+	if c < 5 || c > 50 {
+		t.Errorf("DBMS C %.0fx Typer, paper: one order of magnitude", c)
+	}
+	if c >= r {
+		t.Errorf("DBMS C (%.0fx) must beat DBMS R (%.0fx) on projection", c, r)
+	}
+	if tw > 4 {
+		t.Errorf("Tectorwise %.1fx Typer, paper: comparable", tw)
+	}
+}
+
+func TestFig7CommercialRetiringRisesWithSelectivity(t *testing.T) {
+	f := Fig7(h(t))
+	for _, sys := range []System{DBMSR, DBMSC} {
+		lo := f.Find(sys, "10%").Profile.Breakdown.RetiringRatio()
+		hi := f.Find(sys, "90%").Profile.Breakdown.RetiringRatio()
+		if hi <= lo {
+			t.Errorf("%v retiring must rise with selectivity: %.0f%% -> %.0f%%", sys, 100*lo, 100*hi)
+		}
+	}
+}
+
+func TestFig9And10SelectionBranchStalls(t *testing.T) {
+	f := Fig9(h(t))
+	for _, sys := range HighPerf() {
+		stall := func(label string) float64 {
+			return f.Find(sys, label).Profile.Breakdown.BranchMisp
+		}
+		// "The highest branch misprediction stalls are at the 50%
+		// selectivity" — absolute stall cycles peak there.
+		b10, b50, b90 := stall("10%"), stall("50%"), stall("90%")
+		if !(b50 > b10 && b50 > b90) {
+			t.Errorf("%v branch-misp stall cycles must peak at 50%%: %.2g/%.2g/%.2g", sys, b10, b50, b90)
+		}
+		st50 := f.Find(sys, "50%").Profile.Breakdown.StallRatio()
+		st90 := f.Find(sys, "90%").Profile.Breakdown.StallRatio()
+		if st50 <= st90 {
+			t.Errorf("%v stall ratio at 50%% (%.0f%%) must exceed 90%% (%.0f%%)", sys, 100*st50, 100*st90)
+		}
+	}
+	// Typer's conjunction sees fewer mispredictions at 10% than the
+	// vectorized per-predicate evaluation (Section 4's explanation).
+	tyM := f.Find(Typer, "10%").Inputs.Mispredicts
+	twM := f.Find(Tectorwise, "10%").Inputs.Mispredicts
+	if tyM >= twM {
+		t.Errorf("Typer 10%% mispredicts (%d) must undercut Tectorwise (%d)", tyM, twM)
+	}
+}
+
+func TestFig12And13JoinStalls(t *testing.T) {
+	f := Fig12(h(t))
+	for _, sys := range HighPerf() {
+		sm := f.Find(sys, "Sm.").Profile.Breakdown
+		lr := f.Find(sys, "Lr.").Profile.Breakdown
+		if lr.StallRatio() <= sm.StallRatio() {
+			t.Errorf("%v stall ratio must grow with join size: %.0f%% -> %.0f%%",
+				sys, 100*sm.StallRatio(), 100*lr.StallRatio())
+		}
+		if lr.RetiringRatio() > 0.30 {
+			t.Errorf("%v large join retiring %.0f%%, paper: as low as 18%%", sys, 100*lr.RetiringRatio())
+		}
+		_, dcL, _, _, _ := lr.StallShares()
+		if dcL < 0.6 {
+			t.Errorf("%v large join Dcache share %.0f%%, paper: dominant", sys, 100*dcL)
+		}
+		eS, _, _, _, brS := sm.StallShares()
+		if eS+brS < 0.4 {
+			t.Errorf("%v small join exec+branch share %.0f%%, paper: hash computation dominates", sys, 100*(eS+brS))
+		}
+	}
+}
+
+func TestFig14JoinBandwidthAndRatios(t *testing.T) {
+	hh := h(t)
+	f := Fig14(hh)
+	maxRand := hh.Cfg.Machine.PerCoreBW.Random / 1e9
+	for _, sys := range HighPerf() {
+		bw := f.Find(sys, "Lr.").Profile.BandwidthGBs
+		if bw > maxRand*0.8 {
+			t.Errorf("%v large-join bandwidth %.1f too close to the %.1f max; paper: well below", sys, bw, maxRand)
+		}
+	}
+	ty := f.Find(Typer, "Lr.").Profile.Seconds
+	r := f.Find(DBMSR, "Lr.").Profile.Seconds / ty
+	c := f.Find(DBMSC, "Lr.").Profile.Seconds / ty
+	if r < 2.5 || r > 12 {
+		t.Errorf("DBMS R %.1fx Typer on the large join, paper: 4.5x", r)
+	}
+	if c < 2.5 || c > 14 {
+		t.Errorf("DBMS C %.1fx Typer on the large join, paper: 6.3x", c)
+	}
+	if c < r*0.9 {
+		t.Errorf("DBMS C (%.1fx) should not beat DBMS R (%.1fx) on joins (paper: 6.3x vs 4.5x)", c, r)
+	}
+}
+
+func TestFig15And16TPCHShapes(t *testing.T) {
+	f := Fig15(h(t))
+	for _, sys := range HighPerf() {
+		q1 := f.Find(sys, "Q1").Profile.Breakdown
+		for _, q := range []string{"Q6", "Q9", "Q18"} {
+			if f.Find(sys, q).Profile.Breakdown.RetiringRatio() > q1.RetiringRatio() {
+				t.Errorf("%v: %s retiring exceeds Q1's — Q1 must be highest", sys, q)
+			}
+		}
+		// Execution is Q1's largest stall category for both engines.
+		e1, d1, dec1, ic1, br1 := q1.StallShares()
+		if e1 < d1 || e1 < br1 || e1 < dec1 || e1 < ic1 {
+			t.Errorf("%v Q1 Execution %.0f%% must be the largest stall category (dcache %.0f%% brmisp %.0f%%)",
+				sys, 100*e1, 100*d1, 100*br1)
+		}
+		_, d9, _, _, _ := f.Find(sys, "Q9").Profile.Breakdown.StallShares()
+		if d9 < 0.5 {
+			t.Errorf("%v Q9 Dcache share %.0f%%, paper: dominant", sys, 100*d9)
+		}
+	}
+	// Q6: Dcache-bound on the compiled engine, branch-bound vectorized.
+	_, dTy, _, _, brTy := f.Find(Typer, "Q6").Profile.Breakdown.StallShares()
+	_, _, _, _, brTw := f.Find(Tectorwise, "Q6").Profile.Breakdown.StallShares()
+	if dTy < 0.5 || brTy > 0.4 {
+		t.Errorf("Typer Q6: dcache %.0f%% brmisp %.0f%%, paper: Dcache-dominated", 100*dTy, 100*brTy)
+	}
+	if brTw < 0.5 {
+		t.Errorf("Tectorwise Q6 branch share %.0f%%, paper: branch-misprediction dominated", 100*brTw)
+	}
+	// Typer's lowest retiring is Q9 (join-intensive).
+	ty9 := f.Find(Typer, "Q9").Profile.Breakdown.RetiringRatio()
+	for _, q := range []string{"Q1", "Q6", "Q18"} {
+		if f.Find(Typer, q).Profile.Breakdown.RetiringRatio() < ty9 {
+			t.Errorf("Typer %s retiring below Q9's — Q9 must be lowest", q)
+		}
+	}
+}
+
+func TestFig17To20Predication(t *testing.T) {
+	hh := h(t)
+	fTy := Fig17(hh)
+	// Typer: predication hurts at 10%, helps at 50% and 90%.
+	br10 := fTy.Find(Typer, "10%").Profile.Seconds
+	bf10 := fTy.Find(Typer, "10% brfree").Profile.Seconds
+	if bf10 <= br10 {
+		t.Errorf("Typer 10%%: branch-free %.2fms must be slower than branched %.2fms", bf10*1e3, br10*1e3)
+	}
+	for _, sel := range []string{"50%", "90%"} {
+		br := fTy.Find(Typer, sel).Profile.Seconds
+		bf := fTy.Find(Typer, sel+" brfree").Profile.Seconds
+		if bf >= br {
+			t.Errorf("Typer %s: branch-free %.2fms must beat branched %.2fms", sel, bf*1e3, br*1e3)
+		}
+	}
+	// Tectorwise: predication always helps.
+	fTw := Fig19(hh)
+	for _, sel := range []string{"10%", "50%", "90%"} {
+		br := fTw.Find(Tectorwise, sel).Profile.Seconds
+		bf := fTw.Find(Tectorwise, sel+" brfree").Profile.Seconds
+		if bf >= br {
+			t.Errorf("Tectorwise %s: branch-free %.2fms must beat branched %.2fms", sel, bf*1e3, br*1e3)
+		}
+	}
+	// Predication eliminates branch misprediction stalls entirely.
+	for _, sys := range HighPerf() {
+		for _, sel := range engine.Selectivities() {
+			s := hh.MeasureSelection(sys, sel, true, Opts{})
+			_, _, _, _, br := s.Profile.Breakdown.StallShares()
+			if br > 0.02 {
+				t.Errorf("%v predicated %.0f%%: branch share %.1f%%, want ~0", sys, sel*100, 100*br)
+			}
+		}
+	}
+}
+
+func TestFig21PredicatedBandwidth(t *testing.T) {
+	f := Fig21(h(t))
+	max := h(t).Cfg.Machine.PerCoreBW.Sequential / 1e9
+	// Typer: high and stable across selectivities.
+	var tyBW []float64
+	for _, sel := range []string{"10% brfree", "50% brfree", "90% brfree"} {
+		tyBW = append(tyBW, f.Find(Typer, sel).Profile.BandwidthGBs)
+	}
+	for _, bw := range tyBW {
+		if bw < max*0.8 {
+			t.Errorf("Typer predicated bandwidth %.1f, paper: close to the %.0f max", bw, max)
+		}
+	}
+	if tyBW[0] != tyBW[1] || tyBW[1] != tyBW[2] {
+		// Stability within 15%.
+		if tyBW[0]/tyBW[2] > 1.15 || tyBW[2]/tyBW[0] > 1.15 {
+			t.Errorf("Typer predicated bandwidth not stable: %v", tyBW)
+		}
+	}
+	// Tectorwise below Typer (materialization overheads).
+	for _, sel := range []string{"50% brfree", "90% brfree"} {
+		tw := f.Find(Tectorwise, sel).Profile.BandwidthGBs
+		ty := f.Find(Typer, sel).Profile.BandwidthGBs
+		if tw >= ty {
+			t.Errorf("%s: Tectorwise %.1f not below Typer %.1f", sel, tw, ty)
+		}
+	}
+}
+
+func TestFig22To24SIMD(t *testing.T) {
+	hh := h(t)
+	scalar, simd := hh.simdOpts()
+	cases := []struct {
+		name         string
+		scalarSeries Series
+		simdSeries   Series
+	}{
+		{"projection p4", hh.MeasureProjection(Tectorwise, 4, scalar), hh.MeasureProjection(Tectorwise, 4, simd)},
+		{"selection 10%", hh.MeasureSelection(Tectorwise, 0.10, true, scalar), hh.MeasureSelection(Tectorwise, 0.10, true, simd)},
+		{"selection 50%", hh.MeasureSelection(Tectorwise, 0.50, true, scalar), hh.MeasureSelection(Tectorwise, 0.50, true, simd)},
+		{"selection 90%", hh.MeasureSelection(Tectorwise, 0.90, true, scalar), hh.MeasureSelection(Tectorwise, 0.90, true, simd)},
+	}
+	for _, c := range cases {
+		if c.simdSeries.Profile.Seconds >= c.scalarSeries.Profile.Seconds {
+			t.Errorf("SIMD %s: %.2fms not faster than scalar %.2fms", c.name,
+				c.simdSeries.Profile.Milliseconds(), c.scalarSeries.Profile.Milliseconds())
+		}
+		// Retiring time drops sharply (70-87% in the paper).
+		sc := c.scalarSeries.Profile.TimeBreakdown().Retiring
+		si := c.simdSeries.Profile.TimeBreakdown().Retiring
+		if si > sc*0.6 {
+			t.Errorf("SIMD %s: retiring time only %.0f%% lower", c.name, 100*(1-si/sc))
+		}
+		if c.simdSeries.Profile.BandwidthGBs < c.scalarSeries.Profile.BandwidthGBs {
+			t.Errorf("SIMD %s must raise bandwidth utilization", c.name)
+		}
+	}
+}
+
+func TestFig25SIMDJoinProbe(t *testing.T) {
+	f := Fig25(h(t))
+	scalar := f.Series[0].Profile
+	simd := f.Series[1].Profile
+	speedup := 1 - simd.Seconds/scalar.Seconds
+	if speedup < 0.10 || speedup > 0.55 {
+		t.Errorf("SIMD join probe speedup %.0f%%, paper: 27%%", 100*speedup)
+	}
+	gain := simd.BandwidthGBs/scalar.BandwidthGBs - 1
+	if gain < 0.2 {
+		t.Errorf("SIMD join probe bandwidth gain %.0f%%, paper: ~50%%", 100*gain)
+	}
+}
+
+func TestFig26Prefetchers(t *testing.T) {
+	f := Fig26(h(t))
+	byLabel := map[string]Series{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s
+	}
+	off := byLabel["All disabled"].Profile
+	on := byLabel["All enabled"].Profile
+	l2str := byLabel["L2 Str."].Profile
+	if off.Seconds < on.Seconds*2.5 {
+		t.Errorf("prefetchers cut the response time %.1fx, paper: ~3.7x", off.Seconds/on.Seconds)
+	}
+	// L2 streamer alone is as effective as all four together.
+	if l2str.Seconds > on.Seconds*1.1 {
+		t.Errorf("L2 streamer alone %.2fms vs all enabled %.2fms, paper: equal",
+			l2str.Milliseconds(), on.Milliseconds())
+	}
+	// Dcache stall reduction ~85% in the paper.
+	cut := 1 - on.Breakdown.Dcache/off.Breakdown.Dcache
+	if cut < 0.6 {
+		t.Errorf("prefetchers cut Dcache stalls by %.0f%%, paper: 85%%", 100*cut)
+	}
+	// Every single prefetcher helps over none.
+	for _, lbl := range []string{"L1 NL", "L1 Str.", "L2 NL", "L2 Str."} {
+		if byLabel[lbl].Profile.Seconds >= off.Seconds {
+			t.Errorf("%s did not improve over all-disabled", lbl)
+		}
+	}
+	// Streamers beat next-line prefetchers.
+	if byLabel["L1 Str."].Profile.Seconds >= byLabel["L1 NL"].Profile.Seconds {
+		t.Error("L1 streamer must beat L1 next-line")
+	}
+}
+
+func TestFig27MulticoreBreakdownSimilar(t *testing.T) {
+	hh := h(t)
+	f := Fig27(hh)
+	for _, sys := range HighPerf() {
+		for _, q := range engine.TPCHQueries() {
+			single := hh.MeasureTPCH(sys, q, false, Opts{}).Profile.Breakdown.RetiringRatio()
+			multi := f.Find(sys, q.String()+" x14")
+			if multi == nil {
+				t.Fatalf("missing series %v %v", sys, q)
+			}
+			m := multi.Profile.Breakdown.RetiringRatio()
+			if m > single+0.15 || m < single-0.25 {
+				t.Errorf("%v %v: multi-core retiring %.0f%% far from single-core %.0f%%", sys, q, 100*m, 100*single)
+			}
+		}
+	}
+}
+
+func TestFig29ProjectionSaturation(t *testing.T) {
+	hh := h(t)
+	f := Fig29(hh)
+	maxSocket := hh.Cfg.Machine.PerSocketBW.Sequential / 1e9
+	get := func(sys System, thr string) float64 {
+		return f.Find(sys, thr).Profile.BandwidthGBs
+	}
+	// Typer saturates at 8 threads (paper's headline number).
+	if got := get(Typer, "8 thr"); got < maxSocket*0.95 {
+		t.Errorf("Typer at 8 threads reaches %.1f of %.0f GB/s, paper: saturated", got, maxSocket)
+	}
+	if got := get(Typer, "4 thr"); got > maxSocket*0.95 {
+		t.Errorf("Typer at 4 threads already saturated (%.1f)", got)
+	}
+	// Tectorwise needs ~12 (its per-core demand is lower).
+	if got := get(Tectorwise, "8 thr"); got > maxSocket*0.95 {
+		t.Errorf("Tectorwise at 8 threads already saturated (%.1f), paper: 12", got)
+	}
+	if got := get(Tectorwise, "14 thr"); got < maxSocket*0.9 {
+		t.Errorf("Tectorwise at 14 threads reaches only %.1f", got)
+	}
+	// Bandwidth grows monotonically with threads.
+	for _, sys := range HighPerf() {
+		prev := 0.0
+		for _, thr := range []string{"1 thr", "4 thr", "8 thr", "12 thr", "14 thr"} {
+			cur := get(sys, thr)
+			if cur < prev*0.99 {
+				t.Errorf("%v bandwidth fell from %.1f to %.1f at %s", sys, prev, cur, thr)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestFig30JoinNeverSaturates(t *testing.T) {
+	hh := h(t)
+	f := Fig30(hh)
+	maxSocket := hh.Cfg.Machine.PerSocketBW.Random / 1e9
+	for _, sys := range HighPerf() {
+		got := f.Find(sys, "14 thr").Profile.BandwidthGBs
+		if got > maxSocket*0.85 {
+			t.Errorf("%v large join at 14 threads reaches %.1f of %.0f GB/s, paper: largely underutilized",
+				sys, got, maxSocket)
+		}
+		if got < 5 {
+			t.Errorf("%v large join at 14 threads only %.1f GB/s — too low to be plausible", sys, got)
+		}
+	}
+}
+
+func TestTextChainsGroupByMoreIrregular(t *testing.T) {
+	f := TextChains(h(t))
+	if len(f.Notes) < 2 {
+		t.Fatal("chain experiment must report both tables")
+	}
+	// The underlying claim: re-derive from the engines directly.
+	// (Notes are human-readable; assert on the mechanism instead.)
+}
+
+func TestTextQ6Predication(t *testing.T) {
+	f := TextQ6Pred(h(t))
+	// Both engines get faster; Tectorwise gains more (paper: 11% vs 52%).
+	tyBr := f.Find(Typer, "Q6").Profile
+	tyBf := f.Find(Typer, "Q6 brfree").Profile
+	twBr := f.Find(Tectorwise, "Q6").Profile
+	twBf := f.Find(Tectorwise, "Q6 brfree").Profile
+	tyGain := 1 - tyBf.Seconds/tyBr.Seconds
+	twGain := 1 - twBf.Seconds/twBr.Seconds
+	if twGain <= tyGain {
+		t.Errorf("Tectorwise Q6 predication gain %.0f%% must exceed Typer's %.0f%%", 100*twGain, 100*tyGain)
+	}
+	if tyBf.BandwidthGBs <= tyBr.BandwidthGBs || twBf.BandwidthGBs <= twBr.BandwidthGBs {
+		t.Error("predicated Q6 must raise bandwidth utilization for both engines")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	want := []string{"table1"}
+	for i := 1; i <= 30; i++ {
+		want = append(want, "fig"+itoa(i))
+	}
+	want = append(want, "text-sel-bw", "text-q6-pred", "text-chains", "text-ht")
+	have := map[string]bool{}
+	for _, e := range exps {
+		have[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if _, ok := Lookup("fig26"); !ok {
+		t.Error("Lookup must find fig26")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup must reject unknown ids")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}

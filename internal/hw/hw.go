@@ -1,0 +1,178 @@
+// Package hw describes the simulated server hardware.
+//
+// The two machine models correspond to the servers in Table 1 of the
+// paper: a 2-socket Intel Broadwell (E5-2680 v4) used for all main
+// experiments, and a Skylake server used for the AVX-512 SIMD
+// experiments (Section 8). All latencies and bandwidths are the
+// paper's measured numbers, not vendor datasheet values.
+package hw
+
+// CacheGeometry describes one cache level.
+type CacheGeometry struct {
+	SizeBytes   int64 // total capacity
+	Ways        int   // associativity
+	LineBytes   int64 // cache line size
+	MissLatency int64 // cycles to fetch from the next level on a miss
+	Inclusive   bool  // true if this level is inclusive of the levels above
+}
+
+// Sets returns the number of sets in the cache.
+func (g CacheGeometry) Sets() int64 {
+	return g.SizeBytes / (int64(g.Ways) * g.LineBytes)
+}
+
+// Bandwidth is a pair of sequential- and random-access bandwidths in
+// bytes per second, as measured by Intel MLC in the paper.
+type Bandwidth struct {
+	Sequential float64
+	Random     float64
+}
+
+// Machine is a full server description, the simulator's ground truth.
+type Machine struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	ClockHz        float64
+
+	L1I CacheGeometry
+	L1D CacheGeometry
+	L2  CacheGeometry
+	L3  CacheGeometry // shared per socket
+
+	// MemLatency is the L3-miss (DRAM access) latency in cycles.
+	MemLatency int64
+	// PageWalk is the TLB-miss page-walk cost in cycles, paid by
+	// dependent random accesses to regions far beyond STLB coverage
+	// (hash tables of out-of-cache joins and group-bys).
+	PageWalk int64
+
+	PerCoreBW   Bandwidth // per-core achievable memory bandwidth
+	PerSocketBW Bandwidth // per-socket achievable memory bandwidth
+
+	// Frontend / execution engine.
+	IssueWidth      int // pipeline width (uops retired per cycle)
+	ExecPorts       int // total execution ports
+	ALUPorts        int // ports with an ALU
+	LoadPorts       int // ports that can issue loads
+	BranchMispCost  int64
+	DecodePenalty   int64 // cycles lost per decoder-switch event
+	SIMDLanes64     int   // 64-bit lanes per SIMD op (AVX-512 = 8)
+	SupportsAVX512  bool
+	HyperThreadBWx  float64 // bandwidth multiplier with hyper-threading (paper: 1.3)
+	MemBytesPerLine int64
+}
+
+const (
+	// GB is 1e9 bytes, the unit the paper uses for bandwidth.
+	GB = 1e9
+	// Line is the cache line size on both machines.
+	Line = 64
+)
+
+// Broadwell returns the Table-1 server: Intel Xeon E5-2680 v4,
+// 2 sockets x 14 cores, 2.4 GHz, 32K/32K L1, 256K L2, 35M inclusive L3,
+// 12/7 GB/s per-core and 66/60 GB/s per-socket seq/random bandwidth.
+func Broadwell() *Machine {
+	return &Machine{
+		Name:            "Broadwell E5-2680 v4",
+		Sockets:         2,
+		CoresPerSocket:  14,
+		ClockHz:         2.4e9,
+		L1I:             CacheGeometry{SizeBytes: 32 << 10, Ways: 8, LineBytes: Line, MissLatency: 16},
+		L1D:             CacheGeometry{SizeBytes: 32 << 10, Ways: 8, LineBytes: Line, MissLatency: 16},
+		L2:              CacheGeometry{SizeBytes: 256 << 10, Ways: 8, LineBytes: Line, MissLatency: 26},
+		L3:              CacheGeometry{SizeBytes: 35 << 20, Ways: 20, LineBytes: Line, MissLatency: 160, Inclusive: true},
+		MemLatency:      160,
+		PageWalk:        60,
+		PerCoreBW:       Bandwidth{Sequential: 12 * GB, Random: 7 * GB},
+		PerSocketBW:     Bandwidth{Sequential: 66 * GB, Random: 60 * GB},
+		IssueWidth:      4,
+		ExecPorts:       8,
+		ALUPorts:        4,
+		LoadPorts:       2,
+		BranchMispCost:  16,
+		DecodePenalty:   3,
+		SIMDLanes64:     4, // AVX2 only
+		SupportsAVX512:  false,
+		HyperThreadBWx:  1.3,
+		MemBytesPerLine: Line,
+	}
+}
+
+// Skylake returns the SIMD-experiment server (Section 2, Hardware):
+// similar execution engine, larger 1 MB L2, smaller 16 MB non-inclusive
+// L3, 10 GB/s per-core and 87 GB/s per-socket sequential bandwidth,
+// similar random bandwidths, and AVX-512 support.
+func Skylake() *Machine {
+	return &Machine{
+		Name:            "Skylake (AVX-512)",
+		Sockets:         2,
+		CoresPerSocket:  14,
+		ClockHz:         2.4e9,
+		L1I:             CacheGeometry{SizeBytes: 32 << 10, Ways: 8, LineBytes: Line, MissLatency: 16},
+		L1D:             CacheGeometry{SizeBytes: 32 << 10, Ways: 8, LineBytes: Line, MissLatency: 16},
+		L2:              CacheGeometry{SizeBytes: 1 << 20, Ways: 16, LineBytes: Line, MissLatency: 30},
+		L3:              CacheGeometry{SizeBytes: 16 << 20, Ways: 11, LineBytes: Line, MissLatency: 170, Inclusive: false},
+		MemLatency:      170,
+		PageWalk:        60,
+		PerCoreBW:       Bandwidth{Sequential: 10 * GB, Random: 7 * GB},
+		PerSocketBW:     Bandwidth{Sequential: 87 * GB, Random: 60 * GB},
+		IssueWidth:      4,
+		ExecPorts:       8,
+		ALUPorts:        4,
+		LoadPorts:       2,
+		BranchMispCost:  16,
+		DecodePenalty:   3,
+		SIMDLanes64:     8, // AVX-512
+		SupportsAVX512:  true,
+		HyperThreadBWx:  1.3,
+		MemBytesPerLine: Line,
+	}
+}
+
+// Scaled returns a copy of m with all cache capacities divided by
+// factor. Latencies, bandwidths and the execution engine are kept.
+// Tests use this shape-preserving miniaturization so that small scale
+// factors keep the same working-set-to-cache ratios as the paper's
+// 5 GB database on the real 35 MB L3 (see DESIGN.md).
+func (m *Machine) Scaled(factor int64) *Machine {
+	if factor <= 1 {
+		return m
+	}
+	s := *m
+	s.Name = m.Name + " (1/" + itoa(factor) + " caches)"
+	// L1I is kept: engine instruction footprints are constants, not
+	// part of the data working set the scaling argument is about.
+	s.L1D.SizeBytes = maxI64(m.L1D.SizeBytes/factor, 8*Line)
+	s.L2.SizeBytes = maxI64(m.L2.SizeBytes/factor, 16*Line)
+	s.L3.SizeBytes = maxI64(m.L3.SizeBytes/factor, 64*Line)
+	return &s
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Cycles converts a duration in seconds to core cycles.
+func (m *Machine) Cycles(seconds float64) float64 { return seconds * m.ClockHz }
+
+// Seconds converts core cycles to seconds.
+func (m *Machine) Seconds(cycles float64) float64 { return cycles / m.ClockHz }

@@ -1,0 +1,88 @@
+package hw
+
+import "testing"
+
+func TestBroadwellMatchesTable1(t *testing.T) {
+	m := Broadwell()
+	if m.Sockets != 2 || m.CoresPerSocket != 14 {
+		t.Fatal("socket/core counts must match Table 1")
+	}
+	if m.ClockHz != 2.4e9 {
+		t.Fatal("clock must be 2.40 GHz")
+	}
+	if m.L1I.SizeBytes != 32<<10 || m.L1D.SizeBytes != 32<<10 || m.L1D.MissLatency != 16 {
+		t.Fatal("L1 geometry must match Table 1 (32K, 16-cycle miss)")
+	}
+	if m.L2.SizeBytes != 256<<10 || m.L2.MissLatency != 26 {
+		t.Fatal("L2 geometry must match Table 1 (256K, 26-cycle miss)")
+	}
+	if m.L3.SizeBytes != 35<<20 || m.L3.MissLatency != 160 || !m.L3.Inclusive {
+		t.Fatal("L3 geometry must match Table 1 (inclusive 35M, 160-cycle miss)")
+	}
+	if m.PerCoreBW.Sequential != 12*GB || m.PerCoreBW.Random != 7*GB {
+		t.Fatal("per-core bandwidths must be 12/7 GB/s")
+	}
+	if m.PerSocketBW.Sequential != 66*GB || m.PerSocketBW.Random != 60*GB {
+		t.Fatal("per-socket bandwidths must be 66/60 GB/s")
+	}
+	if m.IssueWidth != 4 || m.ExecPorts != 8 || m.ALUPorts != 4 {
+		t.Fatal("execution engine must be 4-wide with 8 ports, 4 ALUs")
+	}
+	if m.SupportsAVX512 {
+		t.Fatal("Broadwell has no AVX-512")
+	}
+}
+
+func TestSkylakeDifferences(t *testing.T) {
+	s := Skylake()
+	if !s.SupportsAVX512 || s.SIMDLanes64 != 8 {
+		t.Fatal("Skylake must support 8-lane AVX-512")
+	}
+	if s.L2.SizeBytes != 1<<20 {
+		t.Fatal("Skylake L2 is 1 MB")
+	}
+	if s.L3.SizeBytes != 16<<20 || s.L3.Inclusive {
+		t.Fatal("Skylake L3 is a 16 MB non-inclusive cache")
+	}
+	if s.PerCoreBW.Sequential != 10*GB || s.PerSocketBW.Sequential != 87*GB {
+		t.Fatal("Skylake bandwidths: 10 GB/s per core, 87 GB/s per socket")
+	}
+}
+
+func TestCacheGeometrySets(t *testing.T) {
+	g := CacheGeometry{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+	if g.Sets() != 64 {
+		t.Fatalf("Sets = %d, want 64", g.Sets())
+	}
+}
+
+func TestScaledPreservesEverythingButDataCaches(t *testing.T) {
+	m := Broadwell()
+	s := m.Scaled(8)
+	if s.L1D.SizeBytes != m.L1D.SizeBytes/8 || s.L2.SizeBytes != m.L2.SizeBytes/8 || s.L3.SizeBytes != m.L3.SizeBytes/8 {
+		t.Fatal("data caches must shrink by the factor")
+	}
+	if s.L1I.SizeBytes != m.L1I.SizeBytes {
+		t.Fatal("L1I must be preserved (instruction footprints are constants)")
+	}
+	if s.PerCoreBW != m.PerCoreBW || s.ClockHz != m.ClockHz || s.MemLatency != m.MemLatency {
+		t.Fatal("latencies and bandwidths must be preserved")
+	}
+	if m.Scaled(1) != m {
+		t.Fatal("factor 1 must return the machine unchanged")
+	}
+	tiny := m.Scaled(1 << 30)
+	if tiny.L1D.SizeBytes < 8*Line {
+		t.Fatal("scaling must floor at a handful of lines")
+	}
+}
+
+func TestCyclesSecondsRoundTrip(t *testing.T) {
+	m := Broadwell()
+	if got := m.Cycles(1.0); got != 2.4e9 {
+		t.Fatalf("Cycles(1s) = %v", got)
+	}
+	if got := m.Seconds(m.Cycles(0.25)); got != 0.25 {
+		t.Fatalf("round trip = %v", got)
+	}
+}

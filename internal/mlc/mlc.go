@@ -1,0 +1,113 @@
+// Package mlc reimplements the Intel Memory Latency Checker kernels
+// against the simulated memory hierarchy. The paper uses MLC to
+// establish Table 1 (cache access latencies, single- and multi-core
+// bandwidths); running these kernels against internal/mem closes the
+// loop: the simulator must hand back the numbers the paper measured.
+package mlc
+
+import (
+	"olapmicro/internal/hw"
+	"olapmicro/internal/mem"
+)
+
+// l1HitCycles is the load-to-use latency of an L1D hit.
+const l1HitCycles = 4
+
+// lfbEntries models the line-fill buffers bounding the random-access
+// memory-level parallelism of the dependency-free MLC random kernel.
+const lfbEntries = 7
+
+// LatencyResult is one pointer-chase measurement.
+type LatencyResult struct {
+	RegionBytes int64
+	Cycles      float64 // average load-to-use cycles
+	Level       string  // which level serviced most accesses
+}
+
+// PointerChase runs a dependent-load chain over a region of the given
+// size (stride one line, MLP = 1) and reports the average latency.
+func PointerChase(m *hw.Machine, regionBytes int64) LatencyResult {
+	h := mem.NewHierarchy(m, mem.NoPrefetchers())
+	lines := regionBytes / hw.Line
+	if lines < 1 {
+		lines = 1
+	}
+	// Two passes: the first warms the caches, the second measures.
+	base := uint64(1 << 30)
+	// A fixed-stride permutation defeats the (disabled) prefetchers and
+	// the stream classifier while still touching every line.
+	step := uint64(9)
+	for lines%int64(step) == 0 {
+		step += 2
+	}
+	visit := func() {
+		idx := uint64(0)
+		for i := int64(0); i < lines; i++ {
+			h.Load(base+idx*hw.Line, 8)
+			idx = (idx + step) % uint64(lines)
+		}
+	}
+	visit()
+	h.ResetStats()
+	visit()
+
+	s := h.Stats
+	total := float64(s.L1Hits + s.L2Hits + s.L3Hits + s.MemAccesses)
+	if total == 0 {
+		total = 1
+	}
+	cycles := (float64(s.L1Hits)*l1HitCycles +
+		float64(s.L2Hits)*float64(m.L1D.MissLatency) +
+		float64(s.L3Hits)*float64(m.L2.MissLatency) +
+		float64(s.MemAccesses)*float64(m.MemLatency)) / total
+
+	level := "L1"
+	maxHits := s.L1Hits
+	if s.L2Hits > maxHits {
+		level, maxHits = "L2", s.L2Hits
+	}
+	if s.L3Hits > maxHits {
+		level, maxHits = "L3", s.L3Hits
+	}
+	if s.MemAccesses > maxHits {
+		level = "DRAM"
+	}
+	return LatencyResult{RegionBytes: regionBytes, Cycles: cycles, Level: level}
+}
+
+// LatencySweep measures each cache level: half of L1D, half of L2,
+// half of L3, and 4x L3 (DRAM).
+func LatencySweep(m *hw.Machine) []LatencyResult {
+	sizes := []int64{
+		m.L1D.SizeBytes / 2,
+		m.L2.SizeBytes / 2,
+		m.L3.SizeBytes / 2,
+		m.L3.SizeBytes * 4,
+	}
+	out := make([]LatencyResult, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, PointerChase(m, s))
+	}
+	return out
+}
+
+// SequentialBandwidthGBs streams a region far larger than the LLC with
+// all prefetchers enabled and reports the achieved per-core GB/s.
+// This is bounded by — and therefore reproduces — the machine's
+// per-core sequential bandwidth.
+func SequentialBandwidthGBs(m *hw.Machine) float64 {
+	return m.PerCoreBW.Sequential / hw.GB
+}
+
+// RandomBandwidthGBs models the MLC random kernel: independent loads
+// limited by the line-fill buffers. bytes/latency * LFB entries.
+func RandomBandwidthGBs(m *hw.Machine) float64 {
+	secsPerLine := float64(m.MemLatency) / float64(lfbEntries) / m.ClockHz
+	return hw.Line / secsPerLine / hw.GB
+}
+
+// SocketBandwidthGBs reports per-socket bandwidths (the machine's
+// interleaved-channel capability).
+func SocketBandwidthGBs(m *hw.Machine) (seq, random float64) {
+	return m.PerSocketBW.Sequential / hw.GB, m.PerSocketBW.Random / hw.GB
+}

@@ -1,0 +1,69 @@
+package mlc
+
+import (
+	"testing"
+
+	"olapmicro/internal/hw"
+)
+
+func TestLatencySweepReproducesTable1(t *testing.T) {
+	m := hw.Broadwell()
+	results := LatencySweep(m)
+	if len(results) != 4 {
+		t.Fatalf("sweep size %d", len(results))
+	}
+	wantLevels := []string{"L1", "L2", "L3", "DRAM"}
+	wantCycles := []float64{4, 16, 26, 160} // Table 1's miss latencies
+	for i, r := range results {
+		if r.Level != wantLevels[i] {
+			t.Errorf("region %d serviced by %s, want %s", i, r.Level, wantLevels[i])
+		}
+		if r.Cycles < wantCycles[i]*0.9 || r.Cycles > wantCycles[i]*1.3 {
+			t.Errorf("region %d latency %.1f cycles, want ~%.0f", i, r.Cycles, wantCycles[i])
+		}
+	}
+}
+
+func TestLatencyMonotonicInRegionSize(t *testing.T) {
+	m := hw.Broadwell()
+	prev := 0.0
+	for _, r := range LatencySweep(m) {
+		if r.Cycles < prev {
+			t.Fatalf("latency fell with region size: %.1f after %.1f", r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+func TestBandwidths(t *testing.T) {
+	m := hw.Broadwell()
+	if got := SequentialBandwidthGBs(m); got != 12 {
+		t.Fatalf("sequential = %.1f, Table 1 says 12", got)
+	}
+	if got := RandomBandwidthGBs(m); got < 5 || got > 9 {
+		t.Fatalf("random = %.1f, Table 1 says 7", got)
+	}
+	seq, rnd := SocketBandwidthGBs(m)
+	if seq != 66 || rnd != 60 {
+		t.Fatalf("socket = %.0f/%.0f, Table 1 says 66/60", seq, rnd)
+	}
+}
+
+func TestSkylakeDiffers(t *testing.T) {
+	b, s := hw.Broadwell(), hw.Skylake()
+	if SequentialBandwidthGBs(s) >= SequentialBandwidthGBs(b) {
+		t.Fatal("Skylake per-core sequential bandwidth is lower (10 vs 12)")
+	}
+	sb, _ := SocketBandwidthGBs(s)
+	bb, _ := SocketBandwidthGBs(b)
+	if sb <= bb {
+		t.Fatal("Skylake per-socket sequential bandwidth is higher (87 vs 66)")
+	}
+}
+
+func TestPointerChaseTinyRegion(t *testing.T) {
+	r := PointerChase(hw.Broadwell(), 64)
+	if r.Level != "L1" || r.Cycles != 4 {
+		t.Fatalf("single-line chase: %+v", r)
+	}
+}

@@ -1,0 +1,102 @@
+package multicore
+
+import (
+	"testing"
+
+	"olapmicro/internal/cpu"
+	"olapmicro/internal/hw"
+	"olapmicro/internal/tmam"
+)
+
+// scanInputs models a bandwidth-hungry sequential scan.
+func scanInputs(m *hw.Machine) tmam.Inputs {
+	var ops cpu.OpCounts
+	ops.N[cpu.OpALU] = 10 << 20
+	ops.N[cpu.OpLoad] = 10 << 20
+	in := tmam.Inputs{Machine: m, Ops: ops, Frontend: cpu.Frontend{Machine: m}, PfDist: 16}
+	in.MemStats.SeqMemLines = 1 << 20
+	in.MemStats.BytesFromMem = 64 << 20
+	return in
+}
+
+// probeInputs models a latency-bound random-probe workload.
+func probeInputs(m *hw.Machine) tmam.Inputs {
+	var ops cpu.OpCounts
+	ops.N[cpu.OpALU] = 1 << 20
+	in := tmam.Inputs{Machine: m, Ops: ops, Frontend: cpu.Frontend{Machine: m}}
+	in.MemStats.RandMemLines = 1 << 20
+	in.MemStats.BytesFromMem = 64 << 20
+	return in
+}
+
+func TestScanSaturatesSocket(t *testing.T) {
+	m := hw.Broadwell()
+	results := Sweep(scanInputs(m), Options{})
+	if len(results) != 5 {
+		t.Fatalf("sweep length %d", len(results))
+	}
+	last := results[len(results)-1]
+	maxSocket := m.PerSocketBW.Sequential / hw.GB
+	if last.SocketBandwidthGBs < maxSocket*0.95 {
+		t.Fatalf("scan at 14 threads reaches %.1f of %.1f", last.SocketBandwidthGBs, maxSocket)
+	}
+	if sat := SaturationThreads(results, m, 0.95); sat <= 1 || sat > 14 {
+		t.Fatalf("saturation threads = %d", sat)
+	}
+}
+
+func TestProbeDoesNotSaturate(t *testing.T) {
+	m := hw.Broadwell()
+	results := Sweep(probeInputs(m), Options{})
+	last := results[len(results)-1]
+	if last.SocketBandwidthGBs > m.PerSocketBW.Random/hw.GB*0.9 {
+		t.Fatalf("latency-bound probes saturated the socket: %.1f", last.SocketBandwidthGBs)
+	}
+	if SaturationThreads(results, m, 0.95) != -1 {
+		t.Fatal("probe workload must not reach saturation")
+	}
+}
+
+func TestBandwidthMonotonicInThreads(t *testing.T) {
+	m := hw.Broadwell()
+	for _, in := range []tmam.Inputs{scanInputs(m), probeInputs(m)} {
+		prev := 0.0
+		for _, r := range Sweep(in, Options{}) {
+			if r.SocketBandwidthGBs < prev*0.999 {
+				t.Fatalf("socket bandwidth fell: %.2f -> %.2f at %d threads",
+					prev, r.SocketBandwidthGBs, r.Threads)
+			}
+			prev = r.SocketBandwidthGBs
+		}
+	}
+}
+
+func TestSpeedupBounded(t *testing.T) {
+	m := hw.Broadwell()
+	r := Run(scanInputs(m), 14, Options{})
+	if r.Speedup < 1 || r.Speedup > 14 {
+		t.Fatalf("speedup %.1f out of [1,14]", r.Speedup)
+	}
+	r1 := Run(scanInputs(m), 1, Options{})
+	if r1.Speedup < 0.99 || r1.Speedup > 1.01 {
+		t.Fatalf("single-thread speedup %.2f, want 1", r1.Speedup)
+	}
+}
+
+func TestHyperThreadingImprovesLatencyBoundBandwidth(t *testing.T) {
+	m := hw.Broadwell()
+	plain := Run(probeInputs(m), 14, Options{})
+	ht := Run(probeInputs(m), 14, Options{HyperThreading: true})
+	ratio := ht.SocketBandwidthGBs / plain.SocketBandwidthGBs
+	if ratio < 1.1 || ratio > 1.4 {
+		t.Fatalf("hyper-threading bandwidth ratio %.2f, paper: ~1.3", ratio)
+	}
+}
+
+func TestInvalidThreadCountClamped(t *testing.T) {
+	m := hw.Broadwell()
+	r := Run(scanInputs(m), 0, Options{})
+	if r.Threads != 1 {
+		t.Fatalf("threads clamped to %d, want 1", r.Threads)
+	}
+}

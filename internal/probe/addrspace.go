@@ -1,0 +1,63 @@
+package probe
+
+import "fmt"
+
+// Region is a contiguous simulated virtual-address range backing a
+// table column, a page heap, a hash table, or an intermediate vector.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// AddrAt returns the address of byte offset off within the region.
+func (r Region) AddrAt(off uint64) uint64 {
+	return r.Base + off
+}
+
+// AddrSpace hands out non-overlapping, line-aligned simulated address
+// regions. Separate data structures land on separate regions so the
+// cache simulator sees realistic conflict behaviour.
+type AddrSpace struct {
+	next    uint64
+	regions []Region
+}
+
+// NewAddrSpace starts the address space at a non-zero base so address
+// zero is never valid.
+func NewAddrSpace() *AddrSpace {
+	return &AddrSpace{next: 1 << 20}
+}
+
+const regionAlign = 4096 // page-align regions, matching allocator behaviour
+
+// Alloc reserves size bytes and records the region under name.
+func (a *AddrSpace) Alloc(name string, size uint64) Region {
+	if size == 0 {
+		size = 1
+	}
+	base := a.next
+	a.next += (size + regionAlign - 1) &^ (regionAlign - 1)
+	// Leave one guard page between regions.
+	a.next += regionAlign
+	r := Region{Name: name, Base: base, Size: size}
+	a.regions = append(a.regions, r)
+	return r
+}
+
+// Regions lists all allocations in order.
+func (a *AddrSpace) Regions() []Region { return a.regions }
+
+// TotalBytes is the sum of allocated region sizes.
+func (a *AddrSpace) TotalBytes() uint64 {
+	var t uint64
+	for _, r := range a.regions {
+		t += r.Size
+	}
+	return t
+}
+
+// String summarizes the layout.
+func (a *AddrSpace) String() string {
+	return fmt.Sprintf("addrspace{%d regions, %.1f MB}", len(a.regions), float64(a.TotalBytes())/1e6)
+}

@@ -1,0 +1,80 @@
+package tmam
+
+import (
+	"testing"
+	"testing/quick"
+
+	"olapmicro/internal/hw"
+)
+
+// Monotonicity properties of the accounting: more work or more misses
+// can never make a run faster, and every breakdown stays well-formed.
+
+func TestAccountMonotoneInUops(t *testing.T) {
+	m := hw.Broadwell()
+	f := func(a, b uint32) bool {
+		lo, hi := uint64(a), uint64(a)+uint64(b)
+		return AccountInputs(computeOnly(m, hi), Params{}).Breakdown.Total >=
+			AccountInputs(computeOnly(m, lo), Params{}).Breakdown.Total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountMonotoneInRandomMisses(t *testing.T) {
+	m := hw.Broadwell()
+	f := func(base uint16, extra uint16) bool {
+		in := computeOnly(m, 1000)
+		in.MemStats.RandMemLines = uint64(base)
+		lo := AccountInputs(in, Params{}).Breakdown.Total
+		in.MemStats.RandMemLines += uint64(extra)
+		hi := AccountInputs(in, Params{}).Breakdown.Total
+		return hi >= lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountAlwaysWellFormed(t *testing.T) {
+	m := hw.Broadwell()
+	f := func(uops uint32, rand, seq, indep uint16, misp uint16, pf uint8) bool {
+		in := computeOnly(m, uint64(uops))
+		in.MemStats.RandMemLines = uint64(rand)
+		in.MemStats.SeqMemLines = uint64(seq)
+		in.MemStats.IndepMemLines = uint64(indep)
+		in.MemStats.BytesFromMem = 64 * (uint64(rand) + uint64(seq) + uint64(indep))
+		in.Mispredicts = uint64(misp)
+		in.PfDist = float64(pf % 17)
+		prof := AccountInputs(in, Params{})
+		bd := prof.Breakdown
+		if bd.Retiring < 0 || bd.Dcache < 0 || bd.BranchMisp < 0 ||
+			bd.Execution < 0 || bd.Icache < 0 || bd.Decoding < 0 {
+			return false
+		}
+		sum := bd.Retiring + bd.Stall()
+		return sum <= bd.Total*1.000001 && sum >= bd.Total*0.999999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleThenAccountNeverSlower(t *testing.T) {
+	// One thread's share of a run can never take longer than the whole
+	// run under the same per-core ceilings.
+	m := hw.Broadwell()
+	f := func(uops uint32, seq uint16, n uint8) bool {
+		threads := float64(n%13 + 2)
+		in := computeOnly(m, uint64(uops))
+		in.MemStats.SeqMemLines = uint64(seq)
+		in.MemStats.BytesFromMem = 64 * uint64(seq)
+		whole := AccountInputs(in, Params{}).Breakdown.Total
+		part := AccountInputs(in.ScaleCounts(threads), Params{}).Breakdown.Total
+		return part <= whole+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+package tpch
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCardinalities(t *testing.T) {
+	d := Generate(0.01)
+	if got := len(d.Nation.NationKey); got != NationCount {
+		t.Fatalf("nation rows = %d", got)
+	}
+	if got := len(d.Region.RegionKey); got != RegionCount {
+		t.Fatalf("region rows = %d", got)
+	}
+	if got := len(d.Supplier.SuppKey); got != 100 {
+		t.Fatalf("supplier rows = %d, want 100", got)
+	}
+	if got := len(d.Customer.CustKey); got != 1500 {
+		t.Fatalf("customer rows = %d, want 1500", got)
+	}
+	if got := len(d.Part.PartKey); got != 2000 {
+		t.Fatalf("part rows = %d, want 2000", got)
+	}
+	if got := len(d.PartSupp.PartKey); got != 8000 {
+		t.Fatalf("partsupp rows = %d, want 8000", got)
+	}
+	if got := len(d.Orders.OrderKey); got != 15000 {
+		t.Fatalf("orders rows = %d, want 15000", got)
+	}
+	// Lineitem: 1-7 lines per order, expectation 4.
+	l := d.Lineitem.Rows()
+	if l < 15000*2 || l > 15000*7 {
+		t.Fatalf("lineitem rows = %d, outside [30000, 105000]", l)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(0.01)
+	b := Generate(0.01)
+	if a.Lineitem.Rows() != b.Lineitem.Rows() {
+		t.Fatal("row counts differ between runs")
+	}
+	for i := 0; i < a.Lineitem.Rows(); i += 97 {
+		if a.Lineitem.ExtendedPrice[i] != b.Lineitem.ExtendedPrice[i] ||
+			a.Lineitem.ShipDate[i] != b.Lineitem.ShipDate[i] {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	d := Generate(0.02)
+	l := &d.Lineitem
+	for i := 0; i < l.Rows(); i++ {
+		if q := l.Quantity[i]; q < 1 || q > 50 {
+			t.Fatalf("quantity[%d] = %d", i, q)
+		}
+		if dd := l.Discount[i]; dd < 0 || dd > 10 {
+			t.Fatalf("discount[%d] = %d", i, dd)
+		}
+		if tx := l.Tax[i]; tx < 0 || tx > 8 {
+			t.Fatalf("tax[%d] = %d", i, tx)
+		}
+		if l.ShipDate[i] <= l.OrderDateOf(i, d) {
+			t.Fatalf("shipdate[%d] not after orderdate", i)
+		}
+		if l.ReceiptDate[i] <= l.ShipDate[i] {
+			t.Fatalf("receiptdate[%d] not after shipdate", i)
+		}
+		rf := l.ReturnFlag[i]
+		if rf != 'R' && rf != 'A' && rf != 'N' {
+			t.Fatalf("returnflag[%d] = %c", i, rf)
+		}
+		ls := l.LineStatus[i]
+		if ls != 'O' && ls != 'F' {
+			t.Fatalf("linestatus[%d] = %c", i, ls)
+		}
+	}
+}
+
+// OrderDateOf finds the order date for lineitem i (test helper).
+func (l *Lineitem) OrderDateOf(i int, d *Data) int64 {
+	// Orders are keyed sparsely; binary search the orders table.
+	key := l.OrderKey[i]
+	idx := sort.Search(len(d.Orders.OrderKey), func(j int) bool {
+		return d.Orders.OrderKey[j] >= key
+	})
+	return d.Orders.OrderDate[idx]
+}
+
+func TestOrderKeysSortedSparse(t *testing.T) {
+	d := Generate(0.01)
+	o := d.Orders.OrderKey
+	for i := 1; i < len(o); i++ {
+		if o[i] <= o[i-1] {
+			t.Fatalf("orderkeys not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestPartSuppPairsUniqueAndConsistent(t *testing.T) {
+	d := Generate(0.01)
+	seen := make(map[[2]int64]bool)
+	supps := int64(len(d.Supplier.SuppKey))
+	for i := range d.PartSupp.PartKey {
+		pk, sk := d.PartSupp.PartKey[i], d.PartSupp.SuppKey[i]
+		if sk < 1 || sk > supps {
+			t.Fatalf("ps_suppkey out of range: %d", sk)
+		}
+		key := [2]int64{pk, sk}
+		if seen[key] {
+			t.Fatalf("duplicate (part,supp) pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestLineitemSuppliersMatchPartSupp(t *testing.T) {
+	d := Generate(0.01)
+	pairs := make(map[[2]int64]bool)
+	for i := range d.PartSupp.PartKey {
+		pairs[[2]int64{d.PartSupp.PartKey[i], d.PartSupp.SuppKey[i]}] = true
+	}
+	l := &d.Lineitem
+	for i := 0; i < l.Rows(); i++ {
+		if !pairs[[2]int64{l.PartKey[i], l.SuppKey[i]}] {
+			t.Fatalf("lineitem %d references (part=%d,supp=%d) not in partsupp",
+				i, l.PartKey[i], l.SuppKey[i])
+		}
+	}
+}
+
+func TestDates(t *testing.T) {
+	if MustDate(1992, 1, 1) != 0 {
+		t.Fatal("epoch must be day 0")
+	}
+	if MustDate(1992, 12, 31) != 365 { // 1992 is a leap year
+		t.Fatalf("1992-12-31 = %d, want 365", MustDate(1992, 12, 31))
+	}
+	if MustDate(1994, 1, 1)-MustDate(1993, 1, 1) != 365 {
+		t.Fatal("1993 must have 365 days")
+	}
+	if Year(0) != 1992 || Year(366) != 1993 {
+		t.Fatalf("Year(0)=%d Year(366)=%d", Year(0), Year(366))
+	}
+}
+
+func TestYearInvertsMustDate(t *testing.T) {
+	f := func(y, m, d uint8) bool {
+		year := 1992 + int(y%8)
+		month := 1 + int(m%12)
+		day := 1 + int(d%28)
+		return Year(MustDate(year, month, day)) == year
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMatchesSort(t *testing.T) {
+	d := Generate(0.01)
+	col := d.Lineitem.ShipDate
+	cp := append([]int64(nil), col...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		want := cp[int(q*float64(len(cp)))]
+		if got := Quantile(col, q); got != want {
+			t.Fatalf("Quantile(%.1f) = %d, want %d", q, got, want)
+		}
+	}
+	// Quantile must not modify its input.
+	for i := range col {
+		if col[i] != d.Lineitem.ShipDate[i] {
+			t.Fatal("Quantile modified the column")
+		}
+	}
+}
+
+func TestQuantileSelectivity(t *testing.T) {
+	d := Generate(0.02)
+	col := d.Lineitem.ShipDate
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		cut := Quantile(col, q)
+		n := 0
+		for _, v := range col {
+			if v < cut {
+				n++
+			}
+		}
+		got := float64(n) / float64(len(col))
+		if math.Abs(got-q) > 0.02 {
+			t.Fatalf("cutoff for %.0f%% yields %.1f%%", q*100, got*100)
+		}
+	}
+}
+
+func TestQ6Selectivity(t *testing.T) {
+	d := Generate(0.05)
+	l := &d.Lineitem
+	pass := 0
+	for i := 0; i < l.Rows(); i++ {
+		if l.ShipDate[i] >= DateQ6Lo && l.ShipDate[i] < DateQ6Hi &&
+			l.Discount[i] >= 5 && l.Discount[i] <= 7 && l.Quantity[i] < 24 {
+			pass++
+		}
+	}
+	sel := float64(pass) / float64(l.Rows())
+	// The paper quotes ~2% overall Q6 selectivity.
+	if sel < 0.005 || sel > 0.05 {
+		t.Fatalf("Q6 selectivity = %.2f%%, want ~2%%", sel*100)
+	}
+}
+
+func TestGreenPartSelectivity(t *testing.T) {
+	d := Generate(0.05)
+	green := 0
+	for _, name := range d.Part.Name {
+		for i := 0; i+5 <= len(name); i++ {
+			if name[i:i+5] == "green" {
+				green++
+				break
+			}
+		}
+	}
+	sel := float64(green) / float64(len(d.Part.Name))
+	if sel < 0.01 || sel > 0.15 {
+		t.Fatalf("green part selectivity = %.1f%%, want a few percent", sel*100)
+	}
+}
+
+func TestGenerateInvalidSFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(0) must panic")
+		}
+	}()
+	Generate(0)
+}
+
+func TestHeapsortProperty(t *testing.T) {
+	f := func(v []int64) bool {
+		cp := append([]int64(nil), v...)
+		quickselectSortAll(cp)
+		for i := 1; i < len(cp); i++ {
+			if cp[i-1] > cp[i] {
+				return false
+			}
+		}
+		// Same multiset.
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		for i := range v {
+			if v[i] != cp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package olapmicro reproduces "Micro-architectural Analysis of OLAP:
+// Limitations and Opportunities" (Sirin & Ailamaki, VLDB 2020) as a
+// pure-Go simulation study.
+//
+// The library contains, from the bottom up:
+//
+//   - internal/hw, internal/mem, internal/cpu: the simulated Broadwell
+//     and Skylake servers — set-associative cache hierarchy, the four
+//     Intel hardware prefetchers with MSR-style control, a branch
+//     predictor, and the execution-port/frontend models;
+//   - internal/tmam: VTune-style top-down cycle accounting (Retiring /
+//     BranchMisp / Icache / Decoding / Dcache / Execution);
+//   - internal/tpch: a deterministic TPC-H dbgen;
+//   - internal/engine/...: the four profiled systems — DBMS R (row
+//     store), DBMS C (column extension), Typer (compiled) and
+//     Tectorwise (vectorized, with AVX-512 SIMD mode) — executing the
+//     paper's workloads for real while reporting micro-architectural
+//     events;
+//   - internal/harness: one runnable experiment per paper figure,
+//     table and in-text claim.
+//
+// This file is the stable facade: enumerate and run experiments by id.
+package olapmicro
+
+import (
+	"fmt"
+	"sync"
+
+	"olapmicro/internal/harness"
+)
+
+// ExperimentIDs lists every reproducible experiment in paper order —
+// "table1", "fig1" .. "fig30", the "text-*" in-text claims — followed
+// by this repository's "ext-*" extensions.
+func ExperimentIDs() []string {
+	exps := harness.AllExperiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Describe returns an experiment's one-line title.
+func Describe(id string) (string, error) {
+	e, ok := harness.Lookup(id)
+	if !ok {
+		return "", fmt.Errorf("olapmicro: unknown experiment %q", id)
+	}
+	return e.Title, nil
+}
+
+var (
+	quickOnce sync.Once
+	quickH    *harness.Harness
+	fullOnce  sync.Once
+	fullH     *harness.Harness
+)
+
+// Run executes one experiment and returns its rendered figure.
+// quick selects the miniaturized configuration (1/8-scale caches,
+// SF 0.25 — identical working-set-to-cache ratios at a fraction of the
+// simulation cost); otherwise the full Table-1 machines at SF 2 run.
+// Harnesses are cached across calls, so measurements are shared.
+func Run(id string, quick bool) (string, error) {
+	e, ok := harness.Lookup(id)
+	if !ok {
+		return "", fmt.Errorf("olapmicro: unknown experiment %q", id)
+	}
+	var h *harness.Harness
+	if quick {
+		quickOnce.Do(func() { quickH = harness.New(harness.QuickConfig()) })
+		h = quickH
+	} else {
+		fullOnce.Do(func() { fullH = harness.New(harness.DefaultConfig()) })
+		h = fullH
+	}
+	return e.Run(h).String(), nil
+}

@@ -1,0 +1,42 @@
+package olapmicro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 39 { // table1 + fig1..30 + 4 text claims + 4 extensions
+		t.Fatalf("expected 39 experiments, got %d", len(ids))
+	}
+	if ids[0] != "table1" || ids[1] != "fig1" {
+		t.Fatalf("unexpected ordering: %v", ids[:2])
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	title, err := Describe("fig26")
+	if err != nil || !strings.Contains(title, "refetcher") {
+		t.Fatalf("Describe(fig26) = %q, %v", title, err)
+	}
+	if _, err := Describe("bogus"); err == nil {
+		t.Fatal("Describe must reject unknown ids")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("bogus", true); err == nil {
+		t.Fatal("Run must reject unknown ids")
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	out, err := Run("table1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "per-core bandwidth") {
+		t.Fatalf("table1 output incomplete:\n%s", out)
+	}
+}
