@@ -27,15 +27,18 @@ func main() {
 	)
 	flag.Parse()
 
-	if *list || *experiment == "" {
+	if *list {
 		fmt.Println("experiments (pass -experiment <id>):")
 		for _, e := range harness.AllExperiments() {
 			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
 		}
-		if *experiment == "" && !*list {
-			os.Exit(2)
-		}
 		return
+	}
+	if *experiment == "" {
+		// A usage error is not a listing: report it on stderr and exit
+		// before printing anything to stdout.
+		fmt.Fprintln(os.Stderr, "olapsim: no -experiment given; try -list for the experiment ids")
+		os.Exit(2)
 	}
 
 	cfg := harness.DefaultConfig()

@@ -1,0 +1,173 @@
+// Command olapsql is an interactive SQL shell over the profiled OLAP
+// engines: statements are parsed, planned against the generated TPC-H
+// database, routed to the cost-cheapest engine, executed for real, and
+// profiled micro-architecturally.
+//
+// Usage:
+//
+//	olapsql -quick
+//	olapsql -quick -engine tectorwise
+//	echo "select count(*) from orders" | olapsql -quick
+//	olapsql -c "explain select sum(l_quantity) from lineitem"
+//
+// Inside the shell:
+//
+//	select ...;            execute and print the answer
+//	explain select ...;    print the plan and the four-engine
+//	                       cost-model comparison
+//	\profile select ...;   execute and print the measured top-down
+//	                       cycle breakdown next to the prediction
+//	\engine typer          force an engine (typer/tectorwise/auto)
+//	\tables                list the queryable schema
+//	\help                  this text
+//	\q                     quit
+//
+// Statements run when a line ends with ';' (or on a blank line/EOF),
+// so multi-line queries paste naturally.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"olapmicro/internal/harness"
+	"olapmicro/internal/sql"
+	"olapmicro/internal/tpch"
+)
+
+const help = `statements:
+  select ...;            execute and print the answer
+  explain select ...;    show the plan + cost-model engine comparison
+commands:
+  \profile select ...;   execute and print measured vs predicted
+                         top-down cycle breakdown
+  \engine <name>         force engine: typer, tectorwise or auto
+  \tables                list the queryable schema
+  \help                  this text
+  \q                     quit`
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "use the miniaturized test configuration (1/8 caches, SF 0.25)")
+		engine = flag.String("engine", "auto", "execution engine: auto, typer or tectorwise")
+		cmd    = flag.String("c", "", "execute the given statement(s) and exit")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	fmt.Fprintf(os.Stderr, "machine: %s | SF %.3g | generating database...\n", cfg.Machine.Name, cfg.SF)
+	start := time.Now()
+	h := harness.New(cfg)
+	fmt.Fprintf(os.Stderr, "database ready in %v (%d lineitem rows); \\help for help\n",
+		time.Since(start).Round(time.Millisecond), h.Data.Lineitem.Rows())
+
+	s := shell{h: h, engine: *engine}
+	if *cmd != "" {
+		for _, stmt := range strings.Split(*cmd, ";") {
+			if strings.TrimSpace(stmt) != "" {
+				s.exec(stmt, false)
+			}
+		}
+		os.Exit(s.status)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	flush := func() {
+		text := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if text == "" {
+			return
+		}
+		if strings.HasPrefix(text, "\\profile") {
+			s.exec(strings.TrimSpace(strings.TrimPrefix(text, "\\profile")), true)
+			return
+		}
+		s.exec(text, false)
+	}
+	prompt := func() { fmt.Fprint(os.Stderr, "olapsql> ") }
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "\\q" || trimmed == "\\quit" || trimmed == "exit" || trimmed == "quit":
+			flush()
+			os.Exit(s.status)
+		case trimmed == "\\help":
+			fmt.Println(help)
+		case trimmed == "\\tables":
+			printTables()
+		case strings.HasPrefix(trimmed, "\\engine"):
+			name := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\engine"))
+			if name == "" {
+				fmt.Printf("engine: %s\n", s.engine)
+			} else {
+				s.engine = name
+				fmt.Printf("engine set to %s\n", name)
+			}
+		case trimmed == "":
+			flush()
+		default:
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			if strings.HasSuffix(trimmed, ";") {
+				flush()
+			}
+		}
+		prompt()
+	}
+	flush()
+	os.Exit(s.status)
+}
+
+// shell executes statements against one harness.
+type shell struct {
+	h      *harness.Harness
+	engine string
+	status int
+}
+
+// exec compiles and runs one statement; profile additionally prints
+// the measured top-down breakdown next to the prediction.
+func (s *shell) exec(text string, profile bool) {
+	start := time.Now()
+	c, a, err := sql.Run(s.h.Data, s.h.Cfg.Machine, text, sql.Options{Engine: s.engine})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		s.status = 1
+		return
+	}
+	if a == nil { // EXPLAIN
+		fmt.Print(c.Explain())
+		return
+	}
+	fmt.Printf("sum=%d rows=%d check=%016x\n", a.Result.Sum, a.Result.Rows, a.Result.Check)
+	fmt.Printf("engine=%s time=%.2fms bandwidth=%.2fGB/s uops=%d (simulated in %v)\n",
+		a.Engine, a.Profile.Milliseconds(), a.Profile.BandwidthGBs,
+		a.Profile.Instructions, time.Since(start).Round(time.Millisecond))
+	if profile {
+		fmt.Printf("measured:  %s\n", a.Profile.Breakdown)
+		fmt.Printf("predicted: %s\n", a.Predicted.Breakdown)
+		fmt.Print(c.Explain())
+	}
+}
+
+// printTables lists the catalog the way \tables expects it.
+func printTables() {
+	for _, t := range tpch.Schema() {
+		var cols []string
+		for _, c := range t.Cols {
+			cols = append(cols, fmt.Sprintf("%s %s", c.Name, c.Kind))
+		}
+		fmt.Printf("%-10s %s\n", t.Name, strings.Join(cols, ", "))
+	}
+}

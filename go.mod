@@ -1,0 +1,3 @@
+module olapmicro
+
+go 1.24

@@ -1,0 +1,422 @@
+package tectorwise
+
+import (
+	"fmt"
+	"sort"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/join"
+	"olapmicro/internal/probe"
+)
+
+// Branch-site identifiers for the generalized SQL pipeline: every
+// selection conjunct is its own primitive and therefore its own static
+// branch site — the vectorized engine's predictor faces each
+// predicate's individual selectivity (Section 4).
+const (
+	siteSQLFilter = 0x2800 // + conjunct index
+	siteSQLBuild  = 0x2880 // + join index
+	siteSQLProbe  = 0x28c0 // + 4*join index (LookupProbed uses +1)
+	siteSQLGroup  = 0x28f0
+)
+
+// loadChunk charges one dense column-chunk load.
+func (e *Engine) loadChunk(p *probe.Probe, c relop.Col, start int, cn uint64) {
+	if c.ElemBytes() == 1 {
+		p.SeqLoad(c.Addr(start), cn, 1)
+	} else {
+		e.vecLoad(p, c.Addr(start), cn)
+	}
+}
+
+// sortedCols orders a column set deterministically.
+func sortedCols(set map[[2]int]bool, table int) [][2]int {
+	var out [][2]int
+	for k := range set {
+		if k[0] == table {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][1] < out[j][1] })
+	return out
+}
+
+// ExecPipeline executes an ad-hoc relational pipeline the way the
+// vectorized engine executes its hardcoded queries: every conjunct,
+// hash probe, arithmetic operator and aggregate update is a primitive
+// streaming one selection-vector-guided chunk of ~1024 values through
+// materialized intermediates. Join probes follow duplicate-key chains,
+// growing the match vectors when a build key is 1:N. The result
+// convention matches the compiled executor: scalar queries fill Sum;
+// grouped queries fold one row of aggregate values per group and sum
+// the first aggregate.
+func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (engine.Result, error) {
+	if err := pl.Validate(); err != nil {
+		return engine.Result{}, err
+	}
+	b, err := relop.Resolve(pl, e.i64, e.i8)
+	if err != nil {
+		return engine.Result{}, err
+	}
+
+	n := pl.Tables[0].Rows
+	p.SetFootprint(e.costs.Footprint*uint64(1+len(pl.Joins)), uint64(n/e.vec+1))
+
+	rows := make([]int, len(pl.Tables))
+
+	// Column sets read downstream of each stage.
+	downstream := map[[2]int]bool{}
+	for _, g := range pl.GroupBy {
+		g.Cols(downstream)
+	}
+	for _, a := range pl.Aggs {
+		if a.Arg != nil {
+			a.Arg.Cols(downstream)
+		}
+	}
+	for _, j := range pl.Joins {
+		j.ProbeKey.Cols(downstream)
+	}
+
+	// Build phase: chunked build scans.
+	type buildState struct {
+		ht      *join.Table
+		rowOf   []int32
+		payload []relop.Col
+	}
+	builds := make([]buildState, len(pl.Joins))
+	for ji, j := range pl.Joins {
+		bt := pl.Tables[j.Build]
+		bn := bt.Rows
+		ht := join.New(as, fmt.Sprintf("tw.sql.join%d", ji), bn)
+		scanned := map[[2]int]bool{}
+		j.BuildKey.Cols(scanned)
+		j.BuildFilter.Cols(scanned)
+		kAlu, kMul := j.BuildKey.OpCounts()
+		fAlu, fMul := j.BuildFilter.OpCounts()
+		rowOf := make([]int32, 0, bn)
+		for start := 0; start < bn; start += e.vec {
+			end := start + e.vec
+			if end > bn {
+				end = bn
+			}
+			cn := uint64(end - start)
+			for _, k := range sortedCols(scanned, j.Build) {
+				e.loadChunk(p, b.Tables[k[0]][k[1]], start, cn)
+			}
+			e.arith(p, cn*(kAlu+fAlu))
+			e.mulArith(p, cn*(kMul+fMul))
+			e.mulArith(p, cn*2) // hash primitive
+			for i := start; i < end; i++ {
+				rows[j.Build] = i
+				if j.BuildFilter != nil {
+					pass := j.BuildFilter.Eval(b, rows)
+					p.BranchOp(uint64(siteSQLBuild+ji), pass)
+					if !pass {
+						continue
+					}
+				}
+				ht.InsertProbed(p, j.BuildKey.Eval(b, rows))
+				rowOf = append(rowOf, int32(i))
+			}
+			e.primOverhead(p, cn)
+		}
+		var payload []relop.Col
+		for _, k := range sortedCols(downstream, j.Build) {
+			payload = append(payload, b.Tables[k[0]][k[1]])
+		}
+		builds[ji] = buildState{ht: ht, rowOf: rowOf, payload: payload}
+	}
+
+	// Driver column classification: conjunct columns load inside their
+	// selection primitives; probe-key columns before the join
+	// primitives; aggregation inputs after the joins.
+	conjs := pl.Filter.Conjuncts()
+	conjCols := make([][][2]int, len(conjs))
+	filterSet := map[[2]int]bool{}
+	for ci, cj := range conjs {
+		set := map[[2]int]bool{}
+		cj.Cols(set)
+		conjCols[ci] = sortedCols(set, 0)
+		for k := range set {
+			filterSet[k] = true
+		}
+	}
+	probeSet := map[[2]int]bool{}
+	for _, j := range pl.Joins {
+		j.ProbeKey.Cols(probeSet)
+	}
+	var probeCols []relop.Col
+	for _, k := range sortedCols(probeSet, 0) {
+		if !filterSet[k] {
+			probeCols = append(probeCols, b.Tables[k[0]][k[1]])
+		}
+	}
+	aggSet := map[[2]int]bool{}
+	for _, g := range pl.GroupBy {
+		g.Cols(aggSet)
+	}
+	for _, a := range pl.Aggs {
+		if a.Arg != nil {
+			a.Arg.Cols(aggSet)
+		}
+	}
+	var aggCols []relop.Col
+	for _, k := range sortedCols(aggSet, 0) {
+		if !filterSet[k] && !probeSet[k] {
+			aggCols = append(aggCols, b.Tables[k[0]][k[1]])
+		}
+	}
+	streamAll := pl.Filter == nil || pl.EstSel >= 0.5
+
+	pkAlu := make([]uint64, len(pl.Joins))
+	pkMul := make([]uint64, len(pl.Joins))
+	for ji, j := range pl.Joins {
+		pkAlu[ji], pkMul[ji] = j.ProbeKey.OpCounts()
+	}
+	var gAlu, gMul uint64
+	for _, g := range pl.GroupBy {
+		a, m := g.OpCounts()
+		gAlu, gMul = gAlu+a, gMul+m
+	}
+	aggAlu := make([]uint64, len(pl.Aggs))
+	aggMul := make([]uint64, len(pl.Aggs))
+	for ai, a := range pl.Aggs {
+		if a.Arg != nil {
+			aggAlu[ai], aggMul[ai] = a.Arg.OpCounts()
+		}
+	}
+
+	grouped := len(pl.GroupBy) > 0
+	var (
+		grp      *relop.GroupTable
+		aggState [][]int64
+		aggR     probe.Region
+		stride   uint64
+		est      uint64
+		scalar   = make([]int64, len(pl.Aggs))
+		matched  int64
+		keyVals  = make([]int64, len(pl.GroupBy))
+	)
+	if grouped {
+		g := pl.EstGroups
+		if g <= 0 {
+			g = n/2 + 1
+		}
+		est = uint64(g)
+		grp = relop.NewGroupTable(as, "tw.sql.groupby", g)
+		aggState = make([][]int64, len(pl.Aggs))
+		stride = uint64(len(pl.Aggs)) * 8
+		aggR = as.Alloc("tw.sql.agg", est*stride)
+	}
+
+	sel := make([]int32, e.vec)
+	selNext := make([]int32, e.vec)
+
+	var res engine.Result
+	for start := 0; start < n; start += e.vec {
+		end := start + e.vec
+		if end > n {
+			end = n
+		}
+		cn := uint64(end - start)
+		k := int(cn)
+		for i := 0; i < k; i++ {
+			sel[i] = int32(start + i)
+		}
+
+		// Selection primitives, one per conjunct.
+		for ci, cj := range conjs {
+			in := uint64(k)
+			if ci == 0 {
+				for _, c := range conjCols[ci] {
+					e.loadChunk(p, b.Tables[c[0]][c[1]], start, cn)
+				}
+			} else {
+				for _, c := range conjCols[ci] {
+					col := b.Tables[c[0]][c[1]]
+					for _, idx := range sel[:k] {
+						e.gather(p, col.Addr(int(idx)))
+					}
+					e.gatherOps(p, in)
+				}
+			}
+			alu, mul := cj.OpCounts()
+			out := 0
+			for _, idx := range sel[:k] {
+				rows[0] = int(idx)
+				pass := cj.Eval(b, rows)
+				p.BranchOp(uint64(siteSQLFilter+ci), pass)
+				if pass {
+					selNext[out] = idx
+					out++
+				}
+			}
+			e.arith(p, in*alu)
+			e.mulArith(p, in*mul)
+			sub := ci
+			if sub > 2 {
+				sub = 2
+			}
+			e.vecStore(p, e.selR[sub].Base, uint64(out)/2+1)
+			e.primOverhead(p, in)
+			sel, selNext = selNext, sel
+			k = out
+		}
+
+		// Probe-key inputs.
+		for _, c := range probeCols {
+			if streamAll {
+				e.loadChunk(p, c, start, cn)
+			} else {
+				for _, idx := range sel[:k] {
+					e.gather(p, c.Addr(int(idx)))
+				}
+				e.gatherOps(p, uint64(k))
+			}
+		}
+
+		// Join primitives: hash, probe (following duplicate chains),
+		// compact into growable match vectors — matchCols[0] holds
+		// driver rows, matchCols[1+ji] the rows of join ji's build.
+		matchCols := [][]int32{append(make([]int32, 0, k), sel[:k]...)}
+		for ji, j := range pl.Joins {
+			in := len(matchCols[0])
+			e.mulArith(p, uint64(in)*2)
+			e.arith(p, uint64(in)*pkAlu[ji])
+			e.mulArith(p, uint64(in)*pkMul[ji])
+			bs := &builds[ji]
+			site := uint64(siteSQLProbe + 4*ji)
+			out := make([][]int32, len(matchCols)+1)
+			for pos := 0; pos < in; pos++ {
+				rows[0] = int(matchCols[0][pos])
+				for pj := 0; pj < ji; pj++ {
+					rows[pl.Joins[pj].Build] = int(matchCols[1+pj][pos])
+				}
+				key := j.ProbeKey.Eval(b, rows)
+				for slot := bs.ht.LookupProbed(p, site, key); slot >= 0; slot = bs.ht.LookupNextProbed(p, site, slot, key) {
+					br := bs.rowOf[slot]
+					rows[j.Build] = int(br)
+					for _, c := range bs.payload {
+						p.Load(c.Addr(int(br)), c.ElemBytes())
+					}
+					for ci := range matchCols {
+						out[ci] = append(out[ci], matchCols[ci][pos])
+					}
+					out[len(matchCols)] = append(out[len(matchCols)], br)
+				}
+			}
+			matchCols = out
+			e.vecStore(p, e.selR[3].Base, uint64(len(matchCols[0]))/2+1)
+			e.primOverhead(p, uint64(in))
+		}
+		k = len(matchCols[0])
+
+		// setRows positions every table's current row for one match.
+		setRows := func(pos int) {
+			rows[0] = int(matchCols[0][pos])
+			for ji := range pl.Joins {
+				rows[pl.Joins[ji].Build] = int(matchCols[1+ji][pos])
+			}
+		}
+
+		// Aggregation inputs.
+		uk := uint64(k)
+		for _, c := range aggCols {
+			if streamAll && len(pl.Joins) == 0 {
+				e.loadChunk(p, c, start, cn)
+			} else {
+				for pos := 0; pos < k; pos++ {
+					e.gather(p, c.Addr(int(matchCols[0][pos])))
+				}
+				e.gatherOps(p, uk)
+			}
+		}
+
+		if grouped {
+			// Key-hash primitive plus per-chunk hash-group updates.
+			e.mulArith(p, uk*2)
+			e.arith(p, uk*(gAlu+uint64(len(pl.GroupBy)-1)))
+			e.mulArith(p, uk*gMul)
+			for pos := 0; pos < k; pos++ {
+				setRows(pos)
+				for gi, g := range pl.GroupBy {
+					keyVals[gi] = g.Eval(b, rows)
+				}
+				slot, inserted := grp.FindOrInsert(p, siteSQLGroup, keyVals)
+				if inserted {
+					for ai := range aggState {
+						aggState[ai] = append(aggState[ai], 0)
+					}
+				}
+				for ai, a := range pl.Aggs {
+					var v int64
+					if a.Arg != nil {
+						v = a.Arg.Eval(b, rows)
+					}
+					a.Fold(aggState[ai], int(slot), v, inserted)
+				}
+				// Overflowing slots of an underestimated table model the
+				// operator's rehash region (addresses stay in-allocation).
+				off := (uint64(slot) % est) * stride
+				p.Load(aggR.Base+off, stride)
+				p.Store(aggR.Base+off, stride)
+			}
+			for ai := range pl.Aggs {
+				e.arith(p, uk*(aggAlu[ai]+1))
+				e.mulArith(p, uk*aggMul[ai])
+				e.vecStore(p, e.vecR[2].Base, uk)
+				e.primOverhead(p, uk)
+			}
+			p.ExecPressure(uk * uint64(len(pl.Aggs)) * 4 / 10)
+			e.primOverhead(p, uk*2)
+		} else {
+			for pos := 0; pos < k; pos++ {
+				setRows(pos)
+				first := matched == 0
+				for ai, a := range pl.Aggs {
+					var v int64
+					if a.Arg != nil {
+						v = a.Arg.Eval(b, rows)
+					}
+					a.Fold(scalar, ai, v, first)
+				}
+				matched++
+			}
+			// One arithmetic primitive per aggregate expression, then
+			// the serial reduction (as in the projection's aggregation
+			// primitive).
+			for ai := range pl.Aggs {
+				e.arith(p, uk*(aggAlu[ai]+1))
+				e.mulArith(p, uk*aggMul[ai])
+				if ai < len(pl.Aggs)-1 {
+					e.vecStore(p, e.vecR[2].Base, uk)
+				}
+				e.primOverhead(p, uk)
+			}
+			if e.simd {
+				p.Dep(uk / e.lanes)
+				p.ExecPressure(uk * 4 / 10 / e.lanes)
+			} else {
+				p.Dep(uk)
+				p.ExecPressure(uk * 4 / 10)
+			}
+		}
+	}
+
+	if grouped {
+		rowVals := make([]int64, len(pl.Aggs))
+		for s := 0; s < grp.Len(); s++ {
+			for ai := range pl.Aggs {
+				rowVals[ai] = aggState[ai][s]
+			}
+			res.Sum += rowVals[0]
+			res.AddRow(rowVals...)
+		}
+	} else {
+		res.Sum = scalar[0]
+		res.Rows = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,282 @@
+package typer
+
+import (
+	"fmt"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/join"
+	"olapmicro/internal/probe"
+)
+
+// Branch-site identifiers for the generalized SQL pipeline. Each join
+// and the filter get their own static site so the predictor sees them
+// as distinct branches, like the hardcoded queries' sites.
+const (
+	siteSQLFilter = iota + 0x1800
+	siteSQLGroup
+	siteSQLBuild // + 4*joinIndex
+	siteSQLProbe // + 4*joinIndex (LookupProbed also uses +1)
+)
+
+// ExecPipeline executes an ad-hoc relational pipeline the way the
+// compiled engine executes its hardcoded queries: every hash build is
+// fused into the build table's scan, and filter, probes, arithmetic
+// and aggregation run in one data-centric pass over the driver, with
+// predicates folded behind a single branch per tuple. Joins follow
+// duplicate-key chains, so 1:N build sides produce every match. The
+// returned result follows the repository convention: scalar queries
+// fill Sum; grouped queries fold one row of aggregate values per
+// group and sum the first aggregate.
+func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (engine.Result, error) {
+	if err := pl.Validate(); err != nil {
+		return engine.Result{}, err
+	}
+	b, err := relop.Resolve(pl, e.i64, e.i8)
+	if err != nil {
+		return engine.Result{}, err
+	}
+
+	mult := uint64(1 + len(pl.Joins))
+	if len(pl.GroupBy) > 0 {
+		mult++
+	}
+	p.SetFootprint(e.costs.Footprint*mult, 1)
+
+	rows := make([]int, len(pl.Tables))
+
+	// Build phase: one fused build scan per join.
+	type buildState struct {
+		ht    *join.Table
+		rowOf []int32 // hash slot -> build-table row (filters skip rows)
+		// payload columns of the build table read downstream, loaded
+		// per match like the hardcoded Q9 probe pass.
+		payload []relop.Col
+	}
+	downstream := map[[2]int]bool{}
+	for _, g := range pl.GroupBy {
+		g.Cols(downstream)
+	}
+	for _, a := range pl.Aggs {
+		if a.Arg != nil {
+			a.Arg.Cols(downstream)
+		}
+	}
+	for _, j := range pl.Joins {
+		j.ProbeKey.Cols(downstream)
+	}
+
+	builds := make([]buildState, len(pl.Joins))
+	for ji, j := range pl.Joins {
+		bt := pl.Tables[j.Build]
+		n := bt.Rows
+		ht := join.New(as, fmt.Sprintf("ty.sql.join%d", ji), n)
+		scanned := map[[2]int]bool{}
+		j.BuildKey.Cols(scanned)
+		j.BuildFilter.Cols(scanned)
+		for k := range scanned {
+			c := b.Tables[k[0]][k[1]]
+			p.SeqLoad(c.Base(), uint64(n)*c.ElemBytes(), c.ElemBytes())
+		}
+		fAlu, fMul := j.BuildFilter.OpCounts()
+		kAlu, kMul := j.BuildKey.OpCounts()
+		rowOf := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			rows[j.Build] = i
+			if j.BuildFilter != nil {
+				p.ALU(fAlu)
+				p.Mul(fMul)
+				pass := j.BuildFilter.Eval(b, rows)
+				p.BranchOp(uint64(siteSQLBuild+4*ji), pass)
+				if !pass {
+					continue
+				}
+			}
+			p.ALU(kAlu)
+			p.Mul(kMul)
+			ht.InsertProbed(p, j.BuildKey.Eval(b, rows))
+			rowOf = append(rowOf, int32(i))
+		}
+		e.loopTail(p, uint64(n))
+		var payload []relop.Col
+		for k := range downstream {
+			if k[0] == j.Build {
+				payload = append(payload, b.Tables[k[0]][k[1]])
+			}
+		}
+		builds[ji] = buildState{ht: ht, rowOf: rowOf, payload: payload}
+	}
+
+	// Probe pass over the driver: fused filter + probes + aggregation.
+	driver := pl.Tables[0]
+	n := driver.Rows
+	filterCols, payloadCols := pl.DriverCols()
+	// Like the hardcoded queries, predicate columns always stream;
+	// payload columns stream when most tuples survive (Q1) and are
+	// gathered sparsely when the filter is selective (Q6).
+	streamAll := pl.Filter == nil || pl.EstSel >= 0.5
+	for _, ci := range filterCols {
+		c := b.Tables[0][ci]
+		p.SeqLoad(c.Base(), uint64(n)*c.ElemBytes(), c.ElemBytes())
+	}
+	if streamAll {
+		for _, ci := range payloadCols {
+			c := b.Tables[0][ci]
+			p.SeqLoad(c.Base(), uint64(n)*c.ElemBytes(), c.ElemBytes())
+		}
+	}
+
+	fAlu, fMul := pl.Filter.OpCounts()
+	pkAlu := make([]uint64, len(pl.Joins))
+	pkMul := make([]uint64, len(pl.Joins))
+	for ji, j := range pl.Joins {
+		pkAlu[ji], pkMul[ji] = j.ProbeKey.OpCounts()
+	}
+	var gAlu, gMul uint64
+	for _, g := range pl.GroupBy {
+		a, m := g.OpCounts()
+		gAlu, gMul = gAlu+a, gMul+m
+	}
+	var aAlu, aMul uint64
+	for _, a := range pl.Aggs {
+		if a.Arg != nil {
+			al, m := a.Arg.OpCounts()
+			aAlu, aMul = aAlu+al+1, aMul+m
+		} else {
+			aAlu++
+		}
+	}
+
+	grouped := len(pl.GroupBy) > 0
+	var (
+		grp      *relop.GroupTable
+		aggState [][]int64
+		aggR     probe.Region
+		stride   uint64
+		est      uint64
+		scalar   = make([]int64, len(pl.Aggs))
+		matched  int64
+		keyVals  = make([]int64, len(pl.GroupBy))
+	)
+	if grouped {
+		g := pl.EstGroups
+		if g <= 0 {
+			g = n/2 + 1
+		}
+		est = uint64(g)
+		grp = relop.NewGroupTable(as, "ty.sql.groupby", g)
+		aggState = make([][]int64, len(pl.Aggs))
+		stride = uint64(len(pl.Aggs)) * 8
+		aggR = as.Alloc("ty.sql.agg", est*stride)
+	}
+
+	// aggRow folds the current row combination into the aggregates.
+	aggRow := func() {
+		matched++
+		if grouped {
+			for gi, g := range pl.GroupBy {
+				keyVals[gi] = g.Eval(b, rows)
+			}
+			p.ALU(gAlu + uint64(len(pl.GroupBy)-1))
+			p.Mul(gMul + uint64(len(pl.GroupBy)-1))
+			slot, inserted := grp.FindOrInsert(p, siteSQLGroup, keyVals)
+			if inserted {
+				for ai := range aggState {
+					aggState[ai] = append(aggState[ai], 0)
+				}
+			}
+			for ai, a := range pl.Aggs {
+				var v int64
+				if a.Arg != nil {
+					v = a.Arg.Eval(b, rows)
+				}
+				a.Fold(aggState[ai], int(slot), v, inserted)
+			}
+			// Aggregate-row update: load/modify/store plus the serial
+			// arithmetic chain (decimal-style multiply/divide feeds the
+			// accumulate), as in the hardcoded Q1. Overflowing slots of
+			// an underestimated table model the operator's in-place
+			// rehash region (addresses stay within the allocation).
+			off := (uint64(slot) % est) * stride
+			p.Load(aggR.Base+off, stride)
+			p.Store(aggR.Base+off, stride)
+			p.ALU(aAlu)
+			p.Mul(aMul)
+			p.Dep(2 + 2*aMul)
+		} else {
+			for ai, a := range pl.Aggs {
+				var v int64
+				if a.Arg != nil {
+					v = a.Arg.Eval(b, rows)
+				}
+				a.Fold(scalar, ai, v, matched == 1)
+			}
+			p.ALU(aAlu)
+			p.Mul(aMul)
+			p.Dep(1 + aMul/2)
+		}
+	}
+
+	// probeJoin probes join ji for the current rows, following the
+	// duplicate-key chain so every matching build row contributes.
+	var probeJoin func(ji int)
+	probeJoin = func(ji int) {
+		if ji == len(pl.Joins) {
+			aggRow()
+			return
+		}
+		j := pl.Joins[ji]
+		p.ALU(pkAlu[ji])
+		p.Mul(pkMul[ji])
+		key := j.ProbeKey.Eval(b, rows)
+		site := uint64(siteSQLProbe + 4*ji)
+		bs := &builds[ji]
+		for slot := bs.ht.LookupProbed(p, site, key); slot >= 0; slot = bs.ht.LookupNextProbed(p, site, slot, key) {
+			rows[j.Build] = int(bs.rowOf[slot])
+			for _, c := range bs.payload {
+				p.Load(c.Addr(rows[j.Build]), c.ElemBytes())
+			}
+			probeJoin(ji + 1)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		rows[0] = i
+		if pl.Filter != nil {
+			// The compiled engine folds the conjunction into arithmetic
+			// behind a single branch (Section 6: Typer only experiences
+			// the overall selectivity).
+			p.ALU(fAlu)
+			p.Mul(fMul)
+			pass := pl.Filter.Eval(b, rows)
+			p.BranchOp(siteSQLFilter, pass)
+			if !pass {
+				continue
+			}
+		}
+		if !streamAll {
+			for _, ci := range payloadCols {
+				c := b.Tables[0][ci]
+				p.SparseLoad(c.Addr(i), c.ElemBytes())
+			}
+		}
+		probeJoin(0)
+	}
+	e.loopTail(p, uint64(n))
+
+	var res engine.Result
+	if grouped {
+		rowVals := make([]int64, len(pl.Aggs))
+		for s := 0; s < grp.Len(); s++ {
+			for ai := range pl.Aggs {
+				rowVals[ai] = aggState[ai][s]
+			}
+			res.Sum += rowVals[0]
+			res.AddRow(rowVals...)
+		}
+	} else {
+		res.Sum = scalar[0]
+		res.Rows = 1
+	}
+	return res, nil
+}

@@ -72,7 +72,9 @@ func (e *Engine) Q1(p *probe.Probe, as *probe.AddrSpace) engine.Result {
 	var res engine.Result
 	for s := 0; s < ht.Len(); s++ {
 		a := aggs[s]
-		res.Sum += a.sumPrice
+		// Sum carries the first aggregate (sum_qty), the repository-wide
+		// convention shared with the SQL executor.
+		res.Sum += a.sumQty
 		res.AddRow(a.sumQty, a.sumPrice, a.sumDisc, a.sumCharge, a.count)
 	}
 	res.Rows = int64(ht.Len())

@@ -11,6 +11,7 @@ package typer
 
 import (
 	"olapmicro/internal/engine"
+	"olapmicro/internal/engine/relop"
 	"olapmicro/internal/join"
 	"olapmicro/internal/probe"
 	"olapmicro/internal/storage"
@@ -40,6 +41,13 @@ type Engine struct {
 	d     *tpch.Data
 	costs engine.TyperCosts
 
+	// Catalog-wide bindings by SQL column name; the hardcoded queries
+	// read the struct fields below, the generalized SQL pipeline
+	// (ops.go) resolves relop column specs against the maps.
+	i64 map[string]storage.ColI64
+	i8  map[string]storage.ColI8
+	str map[string]storage.ColStr
+
 	li struct {
 		orderKey, partKey, suppKey             storage.ColI64
 		quantity, extendedPrice, discount, tax storage.ColI64
@@ -68,42 +76,38 @@ type Engine struct {
 }
 
 // New binds a Typer engine to the data, carving simulated address
-// regions for every column from as.
+// regions for every catalog column from as.
 func New(d *tpch.Data, as *probe.AddrSpace) *Engine {
 	e := &Engine{d: d, costs: engine.DefaultTyperCosts()}
-	l := &d.Lineitem
-	e.li.orderKey = storage.NewColI64(as, "ty.l_orderkey", l.OrderKey)
-	e.li.partKey = storage.NewColI64(as, "ty.l_partkey", l.PartKey)
-	e.li.suppKey = storage.NewColI64(as, "ty.l_suppkey", l.SuppKey)
-	e.li.quantity = storage.NewColI64(as, "ty.l_quantity", l.Quantity)
-	e.li.extendedPrice = storage.NewColI64(as, "ty.l_extendedprice", l.ExtendedPrice)
-	e.li.discount = storage.NewColI64(as, "ty.l_discount", l.Discount)
-	e.li.tax = storage.NewColI64(as, "ty.l_tax", l.Tax)
-	e.li.shipDate = storage.NewColI64(as, "ty.l_shipdate", l.ShipDate)
-	e.li.commitDate = storage.NewColI64(as, "ty.l_commitdate", l.CommitDate)
-	e.li.receiptDate = storage.NewColI64(as, "ty.l_receiptdate", l.ReceiptDate)
-	e.li.returnFlag = storage.NewColI8(as, "ty.l_returnflag", l.ReturnFlag)
-	e.li.lineStatus = storage.NewColI8(as, "ty.l_linestatus", l.LineStatus)
-	o := &d.Orders
-	e.ord.orderKey = storage.NewColI64(as, "ty.o_orderkey", o.OrderKey)
-	e.ord.custKey = storage.NewColI64(as, "ty.o_custkey", o.CustKey)
-	e.ord.orderDate = storage.NewColI64(as, "ty.o_orderdate", o.OrderDate)
-	e.ord.totalPrice = storage.NewColI64(as, "ty.o_totalprice", o.TotalPrice)
-	s := &d.Supplier
-	e.supp.suppKey = storage.NewColI64(as, "ty.s_suppkey", s.SuppKey)
-	e.supp.nationKey = storage.NewColI64(as, "ty.s_nationkey", s.NationKey)
-	e.supp.acctBal = storage.NewColI64(as, "ty.s_acctbal", s.AcctBal)
-	n := &d.Nation
-	e.nat.nationKey = storage.NewColI64(as, "ty.n_nationkey", n.NationKey)
-	e.nat.regionKey = storage.NewColI64(as, "ty.n_regionkey", n.RegionKey)
-	p := &d.PartSupp
-	e.ps.partKey = storage.NewColI64(as, "ty.ps_partkey", p.PartKey)
-	e.ps.suppKey = storage.NewColI64(as, "ty.ps_suppkey", p.SuppKey)
-	e.ps.availQty = storage.NewColI64(as, "ty.ps_availqty", p.AvailQty)
-	e.ps.supplyCost = storage.NewColI64(as, "ty.ps_supplycost", p.SupplyCost)
-	e.part.partKey = storage.NewColI64(as, "ty.p_partkey", d.Part.PartKey)
-	e.part.name = storage.NewColStr(as, "ty.p_name", d.Part.Name)
-	e.cust.custKey = storage.NewColI64(as, "ty.c_custkey", d.Customer.CustKey)
+	e.i64, e.i8, e.str = relop.BindCatalog(as, "ty.", d)
+	e.li.orderKey = e.i64["l_orderkey"]
+	e.li.partKey = e.i64["l_partkey"]
+	e.li.suppKey = e.i64["l_suppkey"]
+	e.li.quantity = e.i64["l_quantity"]
+	e.li.extendedPrice = e.i64["l_extendedprice"]
+	e.li.discount = e.i64["l_discount"]
+	e.li.tax = e.i64["l_tax"]
+	e.li.shipDate = e.i64["l_shipdate"]
+	e.li.commitDate = e.i64["l_commitdate"]
+	e.li.receiptDate = e.i64["l_receiptdate"]
+	e.li.returnFlag = e.i8["l_returnflag"]
+	e.li.lineStatus = e.i8["l_linestatus"]
+	e.ord.orderKey = e.i64["o_orderkey"]
+	e.ord.custKey = e.i64["o_custkey"]
+	e.ord.orderDate = e.i64["o_orderdate"]
+	e.ord.totalPrice = e.i64["o_totalprice"]
+	e.supp.suppKey = e.i64["s_suppkey"]
+	e.supp.nationKey = e.i64["s_nationkey"]
+	e.supp.acctBal = e.i64["s_acctbal"]
+	e.nat.nationKey = e.i64["n_nationkey"]
+	e.nat.regionKey = e.i64["n_regionkey"]
+	e.ps.partKey = e.i64["ps_partkey"]
+	e.ps.suppKey = e.i64["ps_suppkey"]
+	e.ps.availQty = e.i64["ps_availqty"]
+	e.ps.supplyCost = e.i64["ps_supplycost"]
+	e.part.partKey = e.i64["p_partkey"]
+	e.part.name = e.str["p_name"]
+	e.cust.custKey = e.i64["c_custkey"]
 	return e
 }
 

@@ -138,16 +138,17 @@ func TestQ1Aggregates(t *testing.T) {
 	if r.Rows != 4 {
 		t.Fatalf("Q1 groups = %d, want 4", r.Rows)
 	}
-	// Sum of sumPrice over groups equals the filtered column sum.
+	// Sum of the first aggregate (sum_qty) over groups equals the
+	// filtered column sum.
 	l := &testData.Lineitem
 	var want int64
 	for i := 0; i < l.Rows(); i++ {
 		if l.ShipDate[i] <= tpch.DateQ1Cutoff {
-			want += l.ExtendedPrice[i]
+			want += l.Quantity[i]
 		}
 	}
 	if r.Sum != want {
-		t.Fatalf("Q1 total price %d, want %d", r.Sum, want)
+		t.Fatalf("Q1 total quantity %d, want %d", r.Sum, want)
 	}
 }
 

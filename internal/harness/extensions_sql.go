@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/sql"
+)
+
+// The paper queries as SQL text, as the olapsql shell would receive
+// them (values are integer fixed-point: cents, hundredths, epoch
+// days). The ext-sql experiments profile these through the full
+// parse -> plan -> execute path and set the hardcoded twins alongside.
+const (
+	SQLQ1Text = `select sum(l_quantity), sum(l_extendedprice),
+sum(l_extendedprice * (100 - l_discount) / 100),
+sum(l_extendedprice * (100 - l_discount) / 100 * (100 + l_tax) / 100),
+count(*)
+from lineitem where l_shipdate <= date '1998-09-02'
+group by l_returnflag, l_linestatus`
+
+	SQLQ6Text = `select sum(l_extendedprice * l_discount / 100) from lineitem
+where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
+and l_discount between 5 and 7 and l_quantity < 24`
+)
+
+// ExtSQLQ1 profiles SQL-planned TPC-H Q1 against its hardcoded twin.
+func ExtSQLQ1(h *Harness) Figure {
+	return extSQLFigure(h, "ext-sql-q1",
+		"SQL-planned Q1 vs hardcoded (parse, plan, execute)", SQLQ1Text, engine.Q1)
+}
+
+// ExtSQLQ6 profiles SQL-planned TPC-H Q6 against its hardcoded twin.
+func ExtSQLQ6(h *Harness) Figure {
+	return extSQLFigure(h, "ext-sql-q6",
+		"SQL-planned Q6 vs hardcoded (parse, plan, execute)", SQLQ6Text, engine.Q6)
+}
+
+func extSQLFigure(h *Harness, id, title, text string, q engine.TPCHQuery) Figure {
+	f := Figure{ID: id, Title: title}
+	for _, sys := range HighPerf() {
+		engName := "typer"
+		if sys == Tectorwise {
+			engName = "tectorwise"
+		}
+		_, a, err := sql.Run(h.Data, h.Cfg.Machine, text, sql.Options{Engine: engName})
+		if err != nil {
+			f.Notes = append(f.Notes, fmt.Sprintf("%v: SQL pipeline failed: %v", sys, err))
+			continue
+		}
+		f.Series = append(f.Series, Series{
+			System: sys, Label: q.String() + " sql",
+			Profile: a.Profile, Result: a.Result, Inputs: a.Inputs,
+		})
+		hard := h.MeasureTPCH(sys, q, false, Opts{})
+		hard.Label = q.String() + " hard"
+		f.Series = append(f.Series, hard)
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"%v: SQL result == hardcoded: %v; predicted %.2f ms, measured %.2f ms",
+			sys, a.Result.Equal(hard.Result),
+			a.Predicted.Milliseconds(), a.Profile.Milliseconds()))
+	}
+	if c, err := sql.Compile(h.Data, h.Cfg.Machine, text, sql.Options{}); err == nil {
+		f.Notes = append(f.Notes, fmt.Sprintf("cost-based choice: %s", c.Engine))
+	}
+	return f
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"olapmicro/internal/engine"
+)
+
+// The ext-sql experiments must reproduce the hardcoded results through
+// the full parse -> plan -> execute path, on both engines, and profile
+// in the same qualitative regime as their twins.
+func TestExtSQLQueriesMatchHardcoded(t *testing.T) {
+	hh := h(t)
+	for _, tc := range []struct {
+		f Figure
+		q engine.TPCHQuery
+	}{
+		{ExtSQLQ1(hh), engine.Q1},
+		{ExtSQLQ6(hh), engine.Q6},
+	} {
+		if len(tc.f.Series) != 4 {
+			t.Fatalf("%s: expected sql+hardcoded series for both engines, got %d:\n%s",
+				tc.f.ID, len(tc.f.Series), tc.f)
+		}
+		for _, sys := range HighPerf() {
+			sqlS := tc.f.Find(sys, tc.q.String()+" sql")
+			hardS := tc.f.Find(sys, tc.q.String()+" hard")
+			if sqlS == nil || hardS == nil {
+				t.Fatalf("%s: missing series for %v", tc.f.ID, sys)
+			}
+			if !sqlS.Result.Equal(hardS.Result) {
+				t.Errorf("%s on %v: SQL %v != hardcoded %v", tc.f.ID, sys, sqlS.Result, hardS.Result)
+			}
+			if sqlS.Profile.Instructions == 0 {
+				t.Errorf("%s on %v: SQL run reported no retired micro-ops", tc.f.ID, sys)
+			}
+		}
+		for _, n := range tc.f.Notes {
+			if strings.Contains(n, "false") {
+				t.Errorf("%s: note reports a mismatch: %s", tc.f.ID, n)
+			}
+		}
+	}
+}
+
+// Lookup must resolve the new experiments and the facade count them.
+func TestExtSQLRegistered(t *testing.T) {
+	for _, id := range []string{"ext-sql-q1", "ext-sql-q6"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q is not registered", id)
+		}
+	}
+}

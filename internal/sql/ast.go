@@ -1,0 +1,203 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"olapmicro/internal/engine/relop"
+)
+
+// Expr is a parsed scalar expression.
+type Expr interface {
+	Pos() Pos
+	String() string
+}
+
+// ColRef names a column, optionally table-qualified.
+type ColRef struct {
+	P     Pos
+	Table string // "" when unqualified
+	Name  string
+}
+
+// Pos returns the source position.
+func (c *ColRef) Pos() Pos { return c.P }
+
+// String renders the reference.
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	P Pos
+	V int64
+}
+
+// Pos returns the source position.
+func (n *NumLit) Pos() Pos { return n.P }
+
+// String renders the literal.
+func (n *NumLit) String() string { return fmt.Sprintf("%d", n.V) }
+
+// DateLit is a date 'YYYY-MM-DD' literal; Days is the TPC-H epoch day
+// offset the planner compares against date columns.
+type DateLit struct {
+	P       Pos
+	Y, M, D int
+	Days    int64
+}
+
+// Pos returns the source position.
+func (d *DateLit) Pos() Pos { return d.P }
+
+// String renders the literal.
+func (d *DateLit) String() string { return fmt.Sprintf("date '%04d-%02d-%02d'", d.Y, d.M, d.D) }
+
+// BinExpr is left-associative integer arithmetic.
+type BinExpr struct {
+	P    Pos
+	Op   byte // '+','-','*','/'
+	L, R Expr
+}
+
+// Pos returns the source position.
+func (b *BinExpr) Pos() Pos { return b.P }
+
+// String renders the expression fully parenthesized (the canonical
+// form golden tests and the fuzz round-trip property rely on).
+func (b *BinExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R)
+}
+
+// AggCall is an aggregate function call; Star marks count(*).
+type AggCall struct {
+	P    Pos
+	Fn   string // "sum","count","min","max"
+	Star bool
+	Arg  Expr // nil when Star
+}
+
+// Pos returns the source position.
+func (a *AggCall) Pos() Pos { return a.P }
+
+// String renders the call.
+func (a *AggCall) String() string {
+	if a.Star {
+		return a.Fn + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Fn, a.Arg)
+}
+
+// Pred is a parsed predicate.
+type Pred interface {
+	Pos() Pos
+	String() string
+}
+
+// CmpPred compares two expressions.
+type CmpPred struct {
+	P    Pos
+	Op   relop.CmpOp
+	L, R Expr
+}
+
+// Pos returns the source position.
+func (c *CmpPred) Pos() Pos { return c.P }
+
+// String renders the comparison.
+func (c *CmpPred) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// BetweenPred tests Lo <= X <= Hi.
+type BetweenPred struct {
+	P         Pos
+	X, Lo, Hi Expr
+}
+
+// Pos returns the source position.
+func (b *BetweenPred) Pos() Pos { return b.P }
+
+// String renders the predicate.
+func (b *BetweenPred) String() string {
+	return fmt.Sprintf("%s between %s and %s", b.X, b.Lo, b.Hi)
+}
+
+// AndPred conjoins two predicates.
+type AndPred struct {
+	P    Pos
+	L, R Pred
+}
+
+// Pos returns the source position.
+func (a *AndPred) Pos() Pos { return a.P }
+
+// String renders the conjunction.
+func (a *AndPred) String() string { return fmt.Sprintf("%s and %s", a.L, a.R) }
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	X     Expr
+	Alias string
+}
+
+// FromTable is one table reference in FROM.
+type FromTable struct {
+	P    Pos
+	Name string
+}
+
+// JoinOn joins one more table on an equi-condition.
+type JoinOn struct {
+	P     Pos
+	Table FromTable
+	L, R  *ColRef
+}
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Explain bool
+	Items   []SelectItem
+	From    FromTable
+	Joins   []JoinOn
+	Where   Pred // nil when absent
+	GroupBy []Expr
+}
+
+// String renders the statement in canonical form: keywords lowercased,
+// expressions fully parenthesized.
+func (s *Select) String() string {
+	var b strings.Builder
+	if s.Explain {
+		b.WriteString("explain ")
+	}
+	b.WriteString("select ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.X.String())
+		if it.Alias != "" {
+			b.WriteString(" as " + it.Alias)
+		}
+	}
+	b.WriteString(" from " + s.From.Name)
+	for _, j := range s.Joins {
+		fmt.Fprintf(&b, " join %s on %s = %s", j.Table.Name, j.L, j.R)
+	}
+	if s.Where != nil {
+		b.WriteString(" where " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" group by ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,363 @@
+package sql
+
+import (
+	"math"
+
+	"olapmicro/internal/cpu"
+	"olapmicro/internal/engine"
+	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/hw"
+	"olapmicro/internal/tmam"
+)
+
+// Prediction is one engine's estimated execution: synthetic event
+// counters derived from the calibrated cost models, accounted by the
+// same internal/tmam pipeline that classifies measured runs — so
+// EXPLAIN shows each candidate's predicted micro-op count and top-down
+// stall profile before anything executes.
+type Prediction struct {
+	System     string
+	Profile    tmam.Profile
+	Executable bool // the SQL executor runs on the high-performance engines
+}
+
+// estimator accumulates synthetic counters for one engine candidate.
+type estimator struct {
+	m  *hw.Machine
+	in tmam.Inputs
+}
+
+func newEstimator(m *hw.Machine) *estimator {
+	return &estimator{m: m, in: tmam.Inputs{Machine: m, PfDist: 12}}
+}
+
+// stream charges a cold sequential scan of bytes from DRAM.
+func (e *estimator) stream(bytes float64) {
+	lines := uint64(bytes / hw.Line)
+	e.in.MemStats.SeqMemLines += lines
+	e.in.MemStats.BytesFromMem += uint64(bytes)
+	e.in.MemStats.Loads += lines
+}
+
+// random charges dependent random line accesses into a structure of
+// structBytes (hash probes), classified by the cache level it fits.
+func (e *estimator) random(lines float64, structBytes float64) {
+	n := uint64(lines)
+	e.in.MemStats.Loads += n
+	switch {
+	case structBytes <= float64(e.m.L1D.SizeBytes):
+		e.in.MemStats.L1Hits += n
+	case structBytes <= float64(e.m.L2.SizeBytes):
+		e.in.MemStats.L2Hits += n
+	case structBytes <= float64(e.m.L3.SizeBytes):
+		e.in.MemStats.L3Hits += n
+	default:
+		e.in.MemStats.RandMemLines += n
+		e.in.MemStats.BytesFromMem += n * hw.Line
+	}
+}
+
+// indep charges independent sparse loads (filtered column gathers)
+// into a column of colBytes.
+func (e *estimator) indep(lines float64, colBytes float64) {
+	n := uint64(lines)
+	e.in.MemStats.Loads += n
+	if colBytes <= float64(e.m.L3.SizeBytes) {
+		e.in.MemStats.L3Hits += n
+		return
+	}
+	e.in.MemStats.IndepMemLines += n
+	e.in.MemStats.BytesFromMem += n * hw.Line
+}
+
+func (e *estimator) ops(class cpu.OpClass, n float64) { e.in.Ops.N[class] += uint64(n) }
+
+// htBytes sizes a chained hash table the way internal/join does.
+func htBytes(capacity int) float64 {
+	buckets := 1
+	for buckets < 2*capacity {
+		buckets <<= 1
+	}
+	slots := 1
+	for slots < capacity {
+		slots <<= 1
+	}
+	return float64(buckets*8 + slots*32)
+}
+
+// colGeom is a tiny holder for a column set's byte geometry.
+type colGeom struct {
+	count int
+	bytes float64 // total bytes across the columns
+	elems float64 // elements per full scan
+}
+
+func geom(pl *relop.Pipeline, cols []int, n float64) colGeom {
+	g := colGeom{count: len(cols)}
+	for _, ci := range cols {
+		eb := float64(8)
+		if pl.Tables[0].Cols[ci].Kind == relop.I8 {
+			eb = 1
+		}
+		g.bytes += n * eb
+		g.elems += n
+	}
+	return g
+}
+
+// Predict estimates all four profiled engines for a pipeline on a
+// machine, most attractive first only by convention of the caller.
+func Predict(pl *relop.Pipeline, m *hw.Machine) []Prediction {
+	return []Prediction{
+		{System: "DBMS R", Profile: predictRowStore(pl, m)},
+		{System: "DBMS C", Profile: predictColStore(pl, m)},
+		{System: "Typer", Profile: predictTyper(pl, m), Executable: true},
+		{System: "Tectorwise", Profile: predictTectorwise(pl, m), Executable: true},
+	}
+}
+
+// common pipeline quantities.
+func pipeShape(pl *relop.Pipeline) (n, sel, nf float64, fAlu, fMul uint64, grouped bool, groups, nAggs, aggAlu, aggMul float64) {
+	n = float64(pl.Tables[0].Rows)
+	sel = pl.EstSel
+	if pl.Filter == nil {
+		sel = 1
+	}
+	nf = n * sel
+	fAlu, fMul = pl.Filter.OpCounts()
+	grouped = len(pl.GroupBy) > 0
+	groups = float64(pl.EstGroups)
+	if groups <= 0 {
+		groups = nf/2 + 1
+	}
+	nAggs = float64(len(pl.Aggs))
+	for _, a := range pl.Aggs {
+		if a.Arg != nil {
+			al, mu := a.Arg.OpCounts()
+			aggAlu += float64(al + 1)
+			aggMul += float64(mu)
+		} else {
+			aggAlu++
+		}
+	}
+	return
+}
+
+// joinWork charges the hash builds and probes shared (with per-engine
+// per-tuple overheads layered on top) by every engine model.
+func joinWork(e *estimator, pl *relop.Pipeline, nf float64, perProbeALU, perProbeDep float64) {
+	hc := engine.DefaultHashCosts()
+	for _, j := range pl.Joins {
+		bn := float64(pl.Tables[j.Build].Rows)
+		ht := htBytes(pl.Tables[j.Build].Rows)
+		// Build: stream the key column, hash and scatter each entry.
+		e.stream(bn * 8)
+		e.ops(cpu.OpMul, bn*float64(hc.MulOps))
+		e.ops(cpu.OpALU, bn*(float64(hc.ALUOps)+2))
+		e.ops(cpu.OpStore, bn*2)
+		e.random(bn*2, ht)
+		// Probe: hash, bucket-head load, ~1.2 chain entries, compare.
+		e.ops(cpu.OpMul, nf*float64(hc.MulOps))
+		e.ops(cpu.OpALU, nf*(float64(hc.ALUOps)+1+perProbeALU))
+		e.ops(cpu.OpBranch, nf*2.2)
+		e.in.Mispredicts += uint64(nf * 0.02)
+		e.random(nf*2.2, ht)
+		e.in.Ops.DepCycles += uint64(nf*float64(hc.Dep) + nf*perProbeDep)
+	}
+}
+
+// groupWork charges the hash aggregation.
+func groupWork(e *estimator, nf, groups, nAggs, aggAlu, aggMul float64) {
+	hc := engine.DefaultHashCosts()
+	ht := htBytes(int(groups))
+	aggBytes := groups * nAggs * 8
+	e.ops(cpu.OpMul, nf*(float64(hc.MulOps)+aggMul))
+	e.ops(cpu.OpALU, nf*(float64(hc.ALUOps)+1+aggAlu))
+	e.ops(cpu.OpBranch, nf*2.2)
+	e.random(nf*2.2, ht)
+	e.ops(cpu.OpLoad, nf)
+	e.ops(cpu.OpStore, nf)
+	e.random(nf*2, aggBytes)
+	e.in.Ops.DepCycles += uint64(nf * (2 + 2*aggMul))
+}
+
+func predictTyper(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+	costs := engine.DefaultTyperCosts()
+	e := newEstimator(m)
+	n, sel, nf, fAlu, fMul, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
+	mult := uint64(1 + len(pl.Joins))
+	if grouped {
+		mult++
+	}
+	e.in.Frontend = cpu.Frontend{Machine: m, FootprintBytes: costs.Footprint * mult, Traversals: 1}
+
+	filterCols, payloadCols := pl.DriverCols()
+	fg := geom(pl, filterCols, n)
+	streamAll := pl.Filter == nil || sel >= 0.5
+	e.stream(fg.bytes)
+	e.ops(cpu.OpLoad, fg.elems)
+	if streamAll {
+		pg := geom(pl, payloadCols, n)
+		e.stream(pg.bytes)
+		e.ops(cpu.OpLoad, pg.elems)
+	} else {
+		pg := geom(pl, payloadCols, n)
+		e.indep(nf*float64(pg.count), pg.bytes/float64(max(1, pg.count)))
+		e.ops(cpu.OpLoad, nf*float64(pg.count))
+	}
+
+	// Fused loop: loop control, folded filter, one branch per tuple.
+	e.ops(cpu.OpALU, n*(float64(costs.LoopPerTuple)/8+float64(fAlu)))
+	e.ops(cpu.OpMul, n*float64(fMul))
+	if pl.Filter != nil {
+		e.ops(cpu.OpBranch, n)
+		e.in.Mispredicts += uint64(n * 2 * sel * (1 - sel) * 0.5)
+	}
+	e.ops(cpu.OpBranch, n/4)
+	e.in.Ops.DepCycles += uint64(nf)
+
+	joinWork(e, pl, nf, 0, 0)
+	if grouped {
+		groupWork(e, nf, groups, nAggs, aggAlu, aggMul)
+	} else {
+		e.ops(cpu.OpALU, nf*aggAlu)
+		e.ops(cpu.OpMul, nf*aggMul)
+		e.in.Ops.DepCycles += uint64(nf * (1 + aggMul/2))
+	}
+	return tmam.AccountInputs(e.in, tmam.Params{})
+}
+
+func predictTectorwise(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+	costs := engine.DefaultTectorwiseCosts()
+	e := newEstimator(m)
+	n, sel, nf, _, _, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
+	vec := float64(costs.VectorFor(m.L1D.SizeBytes))
+	vectors := n/vec + 1
+	e.in.Frontend = cpu.Frontend{
+		Machine:        m,
+		FootprintBytes: costs.Footprint * uint64(1+len(pl.Joins)),
+		Traversals:     uint64(vectors),
+	}
+
+	// Selection primitives: each conjunct runs at its own selectivity.
+	conjs := pl.Filter.Conjuncts()
+	perConj := 1.0
+	if len(conjs) > 0 && sel > 0 {
+		perConj = math.Pow(sel, 1/float64(len(conjs)))
+	}
+	in := n
+	for ci, cj := range conjs {
+		alu, mul := cj.OpCounts()
+		set := map[[2]int]bool{}
+		cj.Cols(set)
+		cols := float64(len(set))
+		if ci == 0 {
+			e.stream(in * cols * 8)
+			e.ops(cpu.OpLoad, in*cols)
+		} else {
+			e.indep(in*cols, n*8)
+			e.ops(cpu.OpLoad, in*cols)
+		}
+		e.ops(cpu.OpALU, in*(float64(alu)+float64(costs.PerPrimValue))+vectors*float64(costs.PerVector))
+		e.ops(cpu.OpMul, in*float64(mul))
+		e.ops(cpu.OpBranch, in)
+		e.in.Mispredicts += uint64(in * 2 * perConj * (1 - perConj) * 0.8)
+		e.ops(cpu.OpStore, in/2)
+		e.in.Ops.ExtraExecCycles += uint64(in / 2 * float64(costs.ExecPressurePerStore) / 10)
+		in *= perConj
+	}
+
+	// Payload gathers + aggregate arithmetic primitives.
+	_, payloadCols := pl.DriverCols()
+	pg := geom(pl, payloadCols, n)
+	if pl.Filter == nil || sel >= 0.5 {
+		e.stream(pg.bytes)
+		e.ops(cpu.OpLoad, pg.elems)
+	} else {
+		e.indep(nf*float64(pg.count), pg.bytes/float64(max(1, pg.count)))
+		e.ops(cpu.OpLoad, nf*float64(pg.count))
+	}
+	joinWork(e, pl, nf, float64(costs.PerPrimValue), 0)
+	e.ops(cpu.OpALU, nf*(aggAlu+float64(costs.PerPrimValue)*nAggs)+vectors*float64(costs.PerVector)*nAggs)
+	e.ops(cpu.OpMul, nf*aggMul)
+	e.ops(cpu.OpStore, nf*nAggs)
+	e.in.Ops.ExtraExecCycles += uint64(nf * nAggs * float64(costs.ExecPressurePerStore) / 10)
+	if grouped {
+		groupWork(e, nf, groups, nAggs, aggAlu, aggMul)
+	} else {
+		e.in.Ops.DepCycles += uint64(nf)
+	}
+	return tmam.AccountInputs(e.in, tmam.Params{})
+}
+
+// Row widths of the slotted-page heaps DBMS R scans (attribute bytes
+// plus tuple/page overhead, mirroring internal/engine/rowstore).
+var rowHeapBytes = map[string]float64{
+	"lineitem": 136, "orders": 96, "supplier": 120, "nation": 64,
+	"partsupp": 96, "customer": 96, "part": 120, "region": 64,
+}
+
+func predictRowStore(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+	costs := engine.DefaultRowStoreCosts()
+	e := newEstimator(m)
+	n, _, nf, fAlu, _, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
+	e.in.Frontend = cpu.Frontend{Machine: m, FootprintBytes: costs.Footprint, Traversals: 1}
+
+	cols := float64(len(pl.Tables[0].Cols))
+	// The row store reads whole tuples and interprets every one.
+	e.stream(n * rowHeapBytes[pl.Tables[0].Name])
+	e.ops(cpu.OpLoad, n)
+	e.ops(cpu.OpALU, n*(float64(costs.PerTuple)+cols*float64(costs.PerColumn)+float64(fAlu)))
+	e.in.Ops.DepCycles += uint64(n * (float64(costs.DepPerTuple) + cols*float64(costs.PerColumn)/2))
+	e.in.Ops.N[cpu.OpBranch] += uint64(n * float64(costs.BranchPerTuple))
+	e.in.Mispredicts += uint64(n * float64(costs.BranchPerTuple) / 24)
+	// Scattered interpreter-metadata loads miss to DRAM.
+	e.random(n*float64(costs.MetaLoads), 256<<20)
+	e.ops(cpu.OpLoad, n*float64(costs.MetaLoads))
+	e.in.Frontend.DecodeEvents += uint64(n * float64(costs.DecodePer1K) / 1000)
+
+	for _, j := range pl.Joins {
+		bn := float64(pl.Tables[j.Build].Rows)
+		e.stream(bn * rowHeapBytes[pl.Tables[j.Build].Name])
+		e.ops(cpu.OpALU, (n+bn)*float64(costs.PerTuple)/3)
+		e.in.Ops.DepCycles += uint64((n + bn) * float64(costs.DepPerTuple) / 3)
+	}
+	joinWork(e, pl, nf, 0, 0)
+	if grouped {
+		groupWork(e, nf, groups, nAggs, aggAlu, aggMul)
+	}
+	return tmam.AccountInputs(e.in, tmam.Params{})
+}
+
+func predictColStore(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+	costs := engine.DefaultColStoreCosts()
+	e := newEstimator(m)
+	n, _, nf, fAlu, fMul, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
+	blocks := n/float64(costs.BlockSize) + 1
+	e.in.Frontend = cpu.Frontend{Machine: m, FootprintBytes: costs.Footprint, Traversals: uint64(blocks)}
+
+	filterCols, payloadCols := pl.DriverCols()
+	cols := float64(len(filterCols) + len(payloadCols))
+	e.stream(n * cols * 8)
+	e.ops(cpu.OpLoad, n*cols)
+	// Column loops per value, block coordination through the row engine.
+	e.ops(cpu.OpALU, n*cols*float64(costs.PerValue)+blocks*float64(costs.PerBlock)+n*float64(fAlu))
+	e.ops(cpu.OpMul, n*float64(fMul))
+	e.in.Ops.N[cpu.OpBranch] += uint64(n * cols * costs.BranchPerVal)
+	e.in.Mispredicts += uint64(n * cols * costs.BranchPerVal / 25)
+	e.in.Frontend.DecodeEvents += uint64(blocks * float64(costs.DecodePerBlok))
+
+	for range pl.Joins {
+		// Joins fall back to the host row engine's interpreted operator.
+		e.ops(cpu.OpALU, nf*float64(costs.JoinPerValue))
+		e.in.Ops.DepCycles += uint64(nf * float64(costs.JoinDepPerValue))
+	}
+	joinWork(e, pl, nf, 0, 0)
+	if grouped {
+		groupWork(e, nf, groups, nAggs, aggAlu, aggMul)
+	} else {
+		e.ops(cpu.OpALU, nf*aggAlu)
+		e.ops(cpu.OpMul, nf*aggMul)
+	}
+	return tmam.AccountInputs(e.in, tmam.Params{})
+}

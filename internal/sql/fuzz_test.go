@@ -1,0 +1,47 @@
+package sql
+
+import "testing"
+
+// FuzzParse drives the lexer and parser with arbitrary inputs. Two
+// properties must hold: the parser never panics, and every accepted
+// statement's canonical rendering re-parses to the same canonical form
+// (a fixed point).
+func FuzzParse(f *testing.F) {
+	// Seeds: the four profiled TPC-H query texts in this SQL subset.
+	f.Add(`select sum(l_quantity), sum(l_extendedprice),
+sum(l_extendedprice * (100 - l_discount) / 100),
+sum(l_extendedprice * (100 - l_discount) / 100 * (100 + l_tax) / 100),
+count(*)
+from lineitem where l_shipdate <= date '1998-09-02'
+group by l_returnflag, l_linestatus`)
+	f.Add(`select sum(l_extendedprice * l_discount / 100) from lineitem
+where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
+and l_discount between 5 and 7 and l_quantity < 24`)
+	f.Add(`select sum(l_extendedprice * (100 - l_discount) / 100 - ps_supplycost * l_quantity)
+from lineitem
+join partsupp on l_suppkey = ps_suppkey
+join supplier on l_suppkey = s_suppkey
+join orders on l_orderkey = o_orderkey
+group by s_nationkey`)
+	f.Add(`select sum(l_quantity), count(*) from lineitem
+join orders on l_orderkey = o_orderkey
+where o_totalprice > 30000000 group by l_orderkey`)
+	f.Add("explain select count(*) from nation")
+	f.Add("select sum(x) from t where a < b and c between 1 and 2")
+	f.Add("select -1 from t'")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q -> %q: %v", src, canon, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q -> %q", src, canon, got)
+		}
+	})
+}

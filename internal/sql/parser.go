@@ -1,0 +1,389 @@
+package sql
+
+import (
+	"strconv"
+
+	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/tpch"
+)
+
+// parser is a recursive-descent parser over the token stream. Errors
+// carry 1-based line:col positions.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SELECT statement (optionally prefixed by EXPLAIN,
+// optionally terminated by ';').
+//
+// The grammar covers the paper's workload shapes:
+//
+//	query  := [EXPLAIN] SELECT items FROM table (JOIN table ON col = col)*
+//	          [WHERE pred] [GROUP BY exprs] [';']
+//	items  := expr [AS ident] (',' expr [AS ident])*
+//	pred   := atom (AND atom)*
+//	atom   := expr cmp expr | expr BETWEEN expr AND expr
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := number | DATE 'Y-M-D' | [table'.']column |
+//	          (SUM|COUNT|MIN|MAX) '(' expr | '*' ')' |
+//	          '(' expr ')' | '-' factor
+func Parse(src string) (*Select, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == ";" {
+		p.i++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.cur().pos.Errorf("unexpected %s after statement", p.describe(p.cur()))
+	}
+	return s, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) describe(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return "\"" + t.text + "\""
+	}
+}
+
+func (p *parser) keyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.cur().pos.Errorf("expected %q, found %s", kw, p.describe(p.cur()))
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return p.cur().pos.Errorf("expected %q, found %s", s, p.describe(p.cur()))
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, Pos, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", t.pos, t.pos.Errorf("expected identifier, found %s", p.describe(t))
+	}
+	p.i++
+	return t.text, t.pos, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	s := &Select{}
+	if p.keyword("explain") {
+		s.Explain = true
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	for {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := SelectItem{X: x}
+		if p.keyword("as") {
+			alias, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias
+		}
+		s.Items = append(s.Items, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	name, pos, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.From = FromTable{P: pos, Name: name}
+	for p.keyword("join") {
+		jname, jpos, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		l, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		r, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, JoinOn{P: jpos, Table: FromTable{P: jpos, Name: jname}, L: l, R: r})
+	}
+	if p.keyword("where") {
+		w, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, g)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseColRef() (*ColRef, error) {
+	name, pos, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	c := &ColRef{P: pos, Name: name}
+	if p.symbol(".") {
+		col, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		c.Table, c.Name = name, col
+	}
+	return c, nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	left, err := p.parseAtomPred()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokKeyword || t.text != "and" {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseAtomPred()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndPred{P: t.pos, L: left, R: right}
+	}
+}
+
+var cmpOps = map[string]relop.CmpOp{
+	"<": relop.Lt, "<=": relop.Le, ">": relop.Gt,
+	">=": relop.Ge, "=": relop.Eq, "<>": relop.Ne,
+}
+
+func (p *parser) parseAtomPred() (Pred, error) {
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokKeyword && t.text == "between" {
+		p.i++
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenPred{P: t.pos, X: x, Lo: lo, Hi: hi}, nil
+	}
+	if t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.i++
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &CmpPred{P: t.pos, Op: op, L: x, R: r}, nil
+		}
+	}
+	return nil, t.pos.Errorf("expected comparison or \"between\", found %s", p.describe(t))
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{P: t.pos, Op: t.text[0], L: left, R: right}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{P: t.pos, Op: t.text[0], L: left, R: right}
+	}
+}
+
+var aggFns = map[string]bool{"sum": true, "count": true, "min": true, "max": true}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, t.pos.Errorf("integer literal %q out of range", t.text)
+		}
+		return &NumLit{P: t.pos, V: v}, nil
+	case t.kind == tokKeyword && t.text == "date":
+		p.i++
+		st := p.cur()
+		if st.kind != tokString {
+			return nil, st.pos.Errorf("expected date string after \"date\", found %s", p.describe(st))
+		}
+		p.i++
+		return parseDate(st)
+	case t.kind == tokKeyword && aggFns[t.text]:
+		p.i++
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		call := &AggCall{P: t.pos, Fn: t.text}
+		if p.cur().kind == tokSymbol && p.cur().text == "*" {
+			if t.text != "count" {
+				return nil, p.cur().pos.Errorf("%s(*) is not valid; only count(*)", t.text)
+			}
+			p.i++
+			call.Star = true
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Arg = arg
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	case t.kind == tokIdent:
+		return p.parseColRef()
+	case t.kind == tokSymbol && t.text == "(":
+		p.i++
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.i++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{P: t.pos, Op: '-', L: &NumLit{P: t.pos, V: 0}, R: x}, nil
+	default:
+		return nil, t.pos.Errorf("expected expression, found %s", p.describe(t))
+	}
+}
+
+// parseDate validates a 'YYYY-MM-DD' string literal and precomputes
+// its TPC-H epoch day offset.
+func parseDate(t token) (*DateLit, error) {
+	s := t.text
+	bad := func() error { return t.pos.Errorf("malformed date %q, want 'YYYY-MM-DD'", s) }
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return nil, bad()
+	}
+	y, err := strconv.Atoi(s[:4])
+	if err != nil {
+		return nil, bad()
+	}
+	m, err := strconv.Atoi(s[5:7])
+	if err != nil {
+		return nil, bad()
+	}
+	d, err := strconv.Atoi(s[8:])
+	if err != nil {
+		return nil, bad()
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return nil, t.pos.Errorf("date %q out of range", s)
+	}
+	if y < tpch.EpochYear {
+		return nil, t.pos.Errorf("date %q precedes the TPC-H epoch (%d-01-01)", s, tpch.EpochYear)
+	}
+	return &DateLit{P: t.pos, Y: y, M: m, D: d, Days: tpch.MustDate(y, m, d)}, nil
+}

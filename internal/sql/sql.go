@@ -1,0 +1,174 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/engine/tectorwise"
+	"olapmicro/internal/engine/typer"
+	"olapmicro/internal/hw"
+	"olapmicro/internal/mem"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/tmam"
+	"olapmicro/internal/tpch"
+)
+
+// Options tunes compilation.
+type Options struct {
+	// Engine forces the execution engine: "typer" or "tectorwise";
+	// "" or "auto" selects by predicted response time.
+	Engine string
+}
+
+// Compiled is a parsed, planned and cost-analyzed statement, ready to
+// execute (possibly several times, or on a forced engine).
+type Compiled struct {
+	Stmt        *Select
+	Pipeline    *relop.Pipeline
+	Predictions []Prediction
+	Engine      string // chosen execution engine ("Typer"/"Tectorwise")
+
+	data    *tpch.Data
+	machine *hw.Machine
+}
+
+// Answer is one executed query: the comparable result plus the
+// measured micro-architectural profile.
+type Answer struct {
+	Engine    string
+	Result    engine.Result
+	Profile   tmam.Profile
+	Predicted tmam.Profile
+	// Inputs is the raw counter snapshot, in the same form the harness
+	// records for hardcoded workloads.
+	Inputs tmam.Inputs
+}
+
+// Compile parses text, plans it against the database, predicts all
+// four profiled engines with the calibrated cost models, and picks the
+// execution engine.
+func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, error) {
+	stmt, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := BuildPipeline(d, stmt)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Stmt:        stmt,
+		Pipeline:    pl,
+		Predictions: Predict(pl, m),
+		data:        d,
+		machine:     m,
+	}
+	switch strings.ToLower(opt.Engine) {
+	case "", "auto":
+		best := -1
+		for i, p := range c.Predictions {
+			if !p.Executable {
+				continue
+			}
+			if best < 0 || p.Profile.Seconds < c.Predictions[best].Profile.Seconds {
+				best = i
+			}
+		}
+		c.Engine = c.Predictions[best].System
+	case "typer":
+		c.Engine = "Typer"
+	case "tectorwise":
+		c.Engine = "Tectorwise"
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want typer, tectorwise or auto)", opt.Engine)
+	}
+	return c, nil
+}
+
+// prediction returns the prediction for a system name.
+func (c *Compiled) prediction(system string) tmam.Profile {
+	for _, p := range c.Predictions {
+		if p.System == system {
+			return p.Profile
+		}
+	}
+	return tmam.Profile{}
+}
+
+// Execute runs the pipeline on the chosen engine against a fresh probe
+// and address space, measuring the run like the harness measures the
+// hardcoded workloads.
+func (c *Compiled) Execute() (*Answer, error) {
+	as := probe.NewAddrSpace()
+	p := probe.New(c.machine, mem.AllPrefetchers())
+	var (
+		res engine.Result
+		err error
+	)
+	switch c.Engine {
+	case "Typer":
+		res, err = typer.New(c.data, as).ExecPipeline(p, as, c.Pipeline)
+	case "Tectorwise":
+		e := tectorwise.New(c.data, as, c.machine.L1D.SizeBytes, c.machine.SIMDLanes64)
+		res, err = e.ExecPipeline(p, as, c.Pipeline)
+	default:
+		err = fmt.Errorf("engine %q cannot execute SQL pipelines; force typer or tectorwise", c.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{
+		Engine:    c.Engine,
+		Result:    res,
+		Profile:   tmam.Account(p, tmam.Params{}),
+		Predicted: c.prediction(c.Engine),
+		Inputs:    tmam.InputsFrom(p),
+	}, nil
+}
+
+// Explain renders the chosen plan and the per-engine cost-model
+// comparison: predicted micro-ops, response time, and the predicted
+// top-down cycle breakdown (the same two levels every figure reports).
+func (c *Compiled) Explain() string {
+	var b strings.Builder
+	b.WriteString("plan:\n")
+	for _, line := range strings.Split(strings.TrimRight(c.Pipeline.String(), "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	fmt.Fprintf(&b, "engines (cost-model prediction):\n")
+	fmt.Fprintf(&b, "  %-12s %10s %12s %8s | %5s %6s %6s %6s %6s\n",
+		"system", "uops", "time(ms)", "retire%", "exec", "dcache", "decode", "icache", "brmisp")
+	for _, pr := range c.Predictions {
+		bd := pr.Profile.Breakdown
+		ex, dc, de, ic, br := bd.StallShares()
+		mark := ""
+		if pr.System == c.Engine {
+			mark = "  <- chosen"
+		} else if !pr.Executable {
+			mark = "  (estimate only)"
+		}
+		fmt.Fprintf(&b, "  %-12s %10d %12.2f %8.1f | %5.0f %6.0f %6.0f %6.0f %6.0f%s\n",
+			pr.System, pr.Profile.Instructions, pr.Profile.Milliseconds(),
+			100*bd.RetiringRatio(), 100*ex, 100*dc, 100*de, 100*ic, 100*br, mark)
+	}
+	return b.String()
+}
+
+// Run is the one-call form: compile, then execute unless the statement
+// was EXPLAIN. The Answer is nil for EXPLAIN statements.
+func Run(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, *Answer, error) {
+	c, err := Compile(d, m, text, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.Stmt.Explain {
+		return c, nil, nil
+	}
+	a, err := c.Execute()
+	if err != nil {
+		return c, nil, err
+	}
+	return c, a, nil
+}

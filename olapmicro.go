@@ -1,6 +1,9 @@
 // Package olapmicro reproduces "Micro-architectural Analysis of OLAP:
 // Limitations and Opportunities" (Sirin & Ailamaki, VLDB 2020) as a
-// pure-Go simulation study.
+// pure-Go simulation study — and grows it into a queryable OLAP
+// system: ad-hoc SQL is parsed, planned, cost-routed onto the profiled
+// engines and executed for real over the generated data, reporting the
+// same micro-architectural profiles as the paper's workloads.
 //
 // The library contains, from the bottom up:
 //
@@ -10,16 +13,28 @@
 //     predictor, and the execution-port/frontend models;
 //   - internal/tmam: VTune-style top-down cycle accounting (Retiring /
 //     BranchMisp / Icache / Decoding / Dcache / Execution);
-//   - internal/tpch: a deterministic TPC-H dbgen;
+//   - internal/tpch: a deterministic TPC-H dbgen plus the catalog the
+//     SQL front end binds against;
 //   - internal/engine/...: the four profiled systems — DBMS R (row
 //     store), DBMS C (column extension), Typer (compiled) and
 //     Tectorwise (vectorized, with AVX-512 SIMD mode) — executing the
 //     paper's workloads for real while reporting micro-architectural
-//     events;
+//     events; Typer and Tectorwise additionally expose generalized
+//     scan/filter/hash-join/aggregate operators (ExecPipeline) that
+//     run ad-hoc plans;
+//   - internal/engine/relop: the engine-neutral physical plan those
+//     operators execute;
+//   - internal/sql: lexer, recursive-descent parser, binder/planner,
+//     cost-based engine selection with predicted top-down breakdowns,
+//     and the executor dispatch (cmd/olapsql is the interactive
+//     shell);
 //   - internal/harness: one runnable experiment per paper figure,
-//     table and in-text claim.
+//     table and in-text claim, plus ext-* extensions — including
+//     ext-sql-q1/ext-sql-q6, which profile SQL-planned queries against
+//     their hardcoded twins.
 //
-// This file is the stable facade: enumerate and run experiments by id.
+// This file is the stable facade: enumerate and run experiments by id,
+// or run ad-hoc SQL with Query.
 package olapmicro
 
 import (
@@ -27,6 +42,7 @@ import (
 	"sync"
 
 	"olapmicro/internal/harness"
+	"olapmicro/internal/sql"
 )
 
 // ExperimentIDs lists every reproducible experiment in paper order —
@@ -57,6 +73,17 @@ var (
 	fullH     *harness.Harness
 )
 
+// sharedHarness returns the cached quick or full harness, generating
+// the database on first use.
+func sharedHarness(quick bool) *harness.Harness {
+	if quick {
+		quickOnce.Do(func() { quickH = harness.New(harness.QuickConfig()) })
+		return quickH
+	}
+	fullOnce.Do(func() { fullH = harness.New(harness.DefaultConfig()) })
+	return fullH
+}
+
 // Run executes one experiment and returns its rendered figure.
 // quick selects the miniaturized configuration (1/8-scale caches,
 // SF 0.25 — identical working-set-to-cache ratios at a fraction of the
@@ -67,13 +94,68 @@ func Run(id string, quick bool) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("olapmicro: unknown experiment %q", id)
 	}
-	var h *harness.Harness
-	if quick {
-		quickOnce.Do(func() { quickH = harness.New(harness.QuickConfig()) })
-		h = quickH
-	} else {
-		fullOnce.Do(func() { fullH = harness.New(harness.DefaultConfig()) })
-		h = fullH
+	return e.Run(sharedHarness(quick)).String(), nil
+}
+
+// QueryOption tunes one Query call.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	quick  bool
+	engine string
+}
+
+// QueryQuick runs the query on the miniaturized configuration (the
+// same scaling Run's quick mode uses).
+func QueryQuick() QueryOption { return func(c *queryConfig) { c.quick = true } }
+
+// QueryEngine forces the execution engine: "typer", "tectorwise" or
+// "auto" (the default cost-based choice).
+func QueryEngine(name string) QueryOption { return func(c *queryConfig) { c.engine = name } }
+
+// QueryOutput is one answered (or explained) SQL statement.
+type QueryOutput struct {
+	// Engine is the engine the planner chose (or was forced to).
+	Engine string
+	// Explain is the plan plus the four-engine cost-model comparison.
+	Explain string
+	// Executed is false for EXPLAIN statements; the fields below are
+	// then zero.
+	Executed bool
+	// Sum, Rows and Check mirror engine.Result: the primary aggregate,
+	// the result-row count, and the order-insensitive row checksum.
+	Sum   int64
+	Rows  int64
+	Check uint64
+	// TimeMs is the simulated response time; Breakdown the measured
+	// two-level top-down cycle breakdown.
+	TimeMs    float64
+	Breakdown string
+}
+
+// Query compiles and runs one ad-hoc SQL statement over the generated
+// database: parse, bind against the TPC-H catalog, cost-based engine
+// selection, then execution on the chosen engine's generalized
+// operators with full micro-architectural profiling. A statement
+// prefixed with EXPLAIN is planned but not executed.
+func Query(text string, opts ...QueryOption) (*QueryOutput, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return e.Run(h).String(), nil
+	h := sharedHarness(cfg.quick)
+	c, a, err := sql.Run(h.Data, h.Cfg.Machine, text, sql.Options{Engine: cfg.engine})
+	if err != nil {
+		return nil, fmt.Errorf("olapmicro: %w", err)
+	}
+	out := &QueryOutput{Engine: c.Engine, Explain: c.Explain()}
+	if a != nil {
+		out.Executed = true
+		out.Sum = a.Result.Sum
+		out.Rows = a.Result.Rows
+		out.Check = a.Result.Check
+		out.TimeMs = a.Profile.Milliseconds()
+		out.Breakdown = a.Profile.Breakdown.String()
+	}
+	return out, nil
 }

@@ -7,8 +7,8 @@ import (
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 39 { // table1 + fig1..30 + 4 text claims + 4 extensions
-		t.Fatalf("expected 39 experiments, got %d", len(ids))
+	if len(ids) != 41 { // table1 + fig1..30 + 4 text claims + 6 extensions
+		t.Fatalf("expected 41 experiments, got %d", len(ids))
 	}
 	if ids[0] != "table1" || ids[1] != "fig1" {
 		t.Fatalf("unexpected ordering: %v", ids[:2])
@@ -28,6 +28,35 @@ func TestDescribe(t *testing.T) {
 func TestRunUnknown(t *testing.T) {
 	if _, err := Run("bogus", true); err == nil {
 		t.Fatal("Run must reject unknown ids")
+	}
+}
+
+func TestQueryQuick(t *testing.T) {
+	out, err := Query(
+		"select sum(l_extendedprice * l_discount / 100) from lineitem "+
+			"where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' "+
+			"and l_discount between 5 and 7 and l_quantity < 24",
+		QueryQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Executed || out.Rows != 1 || out.Sum == 0 {
+		t.Fatalf("Q6 over SQL returned %+v", out)
+	}
+	if !strings.Contains(out.Explain, "<- chosen") {
+		t.Fatalf("Explain missing engine choice:\n%s", out.Explain)
+	}
+
+	exp, err := Query("explain select count(*) from orders", QueryQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Executed {
+		t.Fatal("EXPLAIN must not execute")
+	}
+
+	if _, err := Query("select bogus from lineitem", QueryQuick()); err == nil {
+		t.Fatal("Query must surface bind errors")
 	}
 }
 
