@@ -7,6 +7,7 @@
 //
 //	olapsql -quick
 //	olapsql -quick -engine tectorwise
+//	olapsql -quick -threads 8
 //	echo "select count(*) from orders" | olapsql -quick
 //	olapsql -c "explain select sum(l_quantity) from lineitem"
 //
@@ -18,12 +19,15 @@
 //	\profile select ...;   execute and print the measured top-down
 //	                       cycle breakdown next to the prediction
 //	\engine typer          force an engine (typer/tectorwise/auto)
+//	\threads 8             morsel-driven parallel execution on 8 workers
 //	\tables                list the queryable schema
 //	\help                  this text
 //	\q                     quit
 //
 // Statements run when a line ends with ';' (or on a blank line/EOF),
-// so multi-line queries paste naturally.
+// so multi-line queries paste naturally. Several statements may share
+// a line or a -c string; they are split at top-level semicolons, so a
+// ';' inside a string literal stays part of its statement.
 package main
 
 import (
@@ -31,9 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"olapmicro/internal/engine/parallel"
 	"olapmicro/internal/harness"
 	"olapmicro/internal/sql"
 	"olapmicro/internal/tpch"
@@ -46,17 +52,28 @@ commands:
   \profile select ...;   execute and print measured vs predicted
                          top-down cycle breakdown
   \engine <name>         force engine: typer, tectorwise or auto
+  \threads <n>           execute with n parallel workers (1 = serial)
   \tables                list the queryable schema
   \help                  this text
   \q                     quit`
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "use the miniaturized test configuration (1/8 caches, SF 0.25)")
-		engine = flag.String("engine", "auto", "execution engine: auto, typer or tectorwise")
-		cmd    = flag.String("c", "", "execute the given statement(s) and exit")
+		quick   = flag.Bool("quick", false, "use the miniaturized test configuration (1/8 caches, SF 0.25)")
+		engine  = flag.String("engine", "auto", "execution engine: auto, typer or tectorwise")
+		threads = flag.Int("threads", 1, "morsel-driven parallel workers (1 = serial)")
+		cmd     = flag.String("c", "", "execute the given statement(s) and exit")
 	)
 	flag.Parse()
+	engName, ok := normalizeEngine(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, engineErrFmt, *engine)
+		os.Exit(2)
+	}
+	if *threads < 1 {
+		fmt.Fprintln(os.Stderr, "error: -threads must be >= 1")
+		os.Exit(2)
+	}
 
 	cfg := harness.DefaultConfig()
 	if *quick {
@@ -68,13 +85,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "database ready in %v (%d lineitem rows); \\help for help\n",
 		time.Since(start).Round(time.Millisecond), h.Data.Lineitem.Rows())
 
-	s := shell{h: h, engine: *engine}
+	s := shell{h: h, engine: engName, threads: parallel.ClampThreads(cfg.Machine, *threads)}
+	if s.threads != *threads {
+		fmt.Fprintf(os.Stderr, "note: -threads capped to %d (2 hyper-threads x %d cores per socket)\n",
+			s.threads, cfg.Machine.CoresPerSocket)
+	}
 	if *cmd != "" {
-		for _, stmt := range strings.Split(*cmd, ";") {
-			if strings.TrimSpace(stmt) != "" {
-				s.exec(stmt, false)
-			}
-		}
+		s.run(*cmd)
 		os.Exit(s.status)
 	}
 
@@ -82,16 +99,9 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	flush := func() {
-		text := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		text := buf.String()
 		buf.Reset()
-		if text == "" {
-			return
-		}
-		if strings.HasPrefix(text, "\\profile") {
-			s.exec(strings.TrimSpace(strings.TrimPrefix(text, "\\profile")), true)
-			return
-		}
-		s.exec(text, false)
+		s.run(text)
 	}
 	prompt := func() { fmt.Fprint(os.Stderr, "olapsql> ") }
 	prompt()
@@ -107,13 +117,9 @@ func main() {
 		case trimmed == "\\tables":
 			printTables()
 		case strings.HasPrefix(trimmed, "\\engine"):
-			name := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\engine"))
-			if name == "" {
-				fmt.Printf("engine: %s\n", s.engine)
-			} else {
-				s.engine = name
-				fmt.Printf("engine set to %s\n", name)
-			}
+			s.setEngine(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\engine")))
+		case strings.HasPrefix(trimmed, "\\threads"):
+			s.setThreads(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\threads")))
 		case trimmed == "":
 			flush()
 		default:
@@ -125,22 +131,101 @@ func main() {
 		}
 		prompt()
 	}
+	if err := in.Err(); err != nil {
+		// A read failure must not look like a clean exit — the buffered
+		// statement may be truncated, so report and fail instead of
+		// executing it.
+		fmt.Fprintf(os.Stderr, "error: reading input: %v\n", err)
+		os.Exit(1)
+	}
 	flush()
 	os.Exit(s.status)
 }
 
 // shell executes statements against one harness.
 type shell struct {
-	h      *harness.Harness
-	engine string
-	status int
+	h       *harness.Harness
+	engine  string
+	threads int
+	status  int
+}
+
+// engineErrFmt is the one rejection message both the -engine flag and
+// \engine print.
+const engineErrFmt = "error: unknown engine %q (accepted: typer, tectorwise, auto)\n"
+
+// normalizeEngine lowercases and validates an engine name; both entry
+// points apply the same policy.
+func normalizeEngine(name string) (string, bool) {
+	switch n := strings.ToLower(name); n {
+	case "typer", "tectorwise", "auto":
+		return n, true
+	}
+	return "", false
+}
+
+// setEngine validates and applies \engine; an unknown name is
+// rejected immediately with the accepted values, not deferred to a
+// confusing failure on the next statement.
+func (s *shell) setEngine(name string) {
+	if name == "" {
+		fmt.Printf("engine: %s\n", s.engine)
+		return
+	}
+	n, ok := normalizeEngine(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, engineErrFmt, name)
+		return
+	}
+	s.engine = n
+	fmt.Printf("engine set to %s\n", n)
+}
+
+// setThreads validates and applies \threads, confirming the count
+// that will actually run (the executor clamps to the machine's
+// hyper-threaded single-socket capacity).
+func (s *shell) setThreads(arg string) {
+	if arg == "" {
+		fmt.Printf("threads: %d\n", s.threads)
+		return
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "error: \\threads wants a worker count >= 1, got %q\n", arg)
+		return
+	}
+	s.threads = parallel.ClampThreads(s.h.Cfg.Machine, n)
+	if s.threads != n {
+		fmt.Printf("threads set to %d (capped from %d: the %s runs 2 hyper-threads on each of %d cores per socket)\n",
+			s.threads, n, s.h.Cfg.Machine.Name, s.h.Cfg.Machine.CoresPerSocket)
+		return
+	}
+	fmt.Printf("threads set to %d\n", s.threads)
+}
+
+// run splits a script at top-level statement boundaries (the shared
+// lexer rules, so ';' inside string literals does not cut) and
+// executes each statement. Both the -c flag and the interactive
+// flush path go through here.
+func (s *shell) run(text string) {
+	for _, stmt := range sql.SplitStatements(text) {
+		profile := false
+		if strings.HasPrefix(stmt, "\\profile") {
+			profile = true
+			stmt = strings.TrimSpace(strings.TrimPrefix(stmt, "\\profile"))
+			if stmt == "" {
+				continue
+			}
+		}
+		s.exec(stmt, profile)
+	}
 }
 
 // exec compiles and runs one statement; profile additionally prints
 // the measured top-down breakdown next to the prediction.
 func (s *shell) exec(text string, profile bool) {
 	start := time.Now()
-	c, a, err := sql.Run(s.h.Data, s.h.Cfg.Machine, text, sql.Options{Engine: s.engine})
+	c, a, err := sql.Run(s.h.Data, s.h.Cfg.Machine, text, sql.Options{Engine: s.engine, Threads: s.threads})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		s.status = 1
@@ -154,6 +239,10 @@ func (s *shell) exec(text string, profile bool) {
 	fmt.Printf("engine=%s time=%.2fms bandwidth=%.2fGB/s uops=%d (simulated in %v)\n",
 		a.Engine, a.Profile.Milliseconds(), a.Profile.BandwidthGBs,
 		a.Profile.Instructions, time.Since(start).Round(time.Millisecond))
+	if a.Parallel != nil {
+		fmt.Printf("threads=%d morsels=%d socket-bandwidth=%.2fGB/s speedup=%.2fx\n",
+			a.Parallel.Threads, a.Parallel.Morsels, a.Parallel.SocketBandwidthGBs, a.Parallel.Speedup)
+	}
 	if profile {
 		fmt.Printf("measured:  %s\n", a.Profile.Breakdown)
 		fmt.Printf("predicted: %s\n", a.Predicted.Breakdown)

@@ -24,6 +24,10 @@ func NewGroupTable(as *probe.AddrSpace, name string, capacity int) *GroupTable {
 // Len is the number of groups.
 func (g *GroupTable) Len() int { return len(g.tuples) }
 
+// Tuples exposes the group key tuples in slot order (slot i holds
+// Tuples()[i]); workers hand them to MergePartials.
+func (g *GroupTable) Tuples() [][]int64 { return g.tuples }
+
 // FindOrInsert resolves a key tuple to its group slot, inserting a new
 // group when absent, with the probed events of a native hash-group
 // operator (chain walk on mixed-key collisions included).

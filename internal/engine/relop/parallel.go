@@ -1,0 +1,183 @@
+package relop
+
+import (
+	"encoding/binary"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/join"
+	"olapmicro/internal/probe"
+)
+
+// Prepared is a pipeline bound to one engine with its hash-join build
+// phase already executed: a read-only plan fragment any number of
+// workers can probe concurrently, each through its own probe. This is
+// the engine-side half of morsel-driven parallelism (Section 10):
+// builds happen once, probes and aggregation fan out over the driver.
+type Prepared interface {
+	// Rows is the driver-table row count workers partition.
+	Rows() int
+	// MorselAlign is the row alignment morsel boundaries must respect:
+	// the vectorized engine's vector size, 1 for the compiled engine.
+	MorselAlign() int
+	// NewWorker creates one worker's private execution state
+	// (aggregation tables, scratch vectors) charging setup against the
+	// worker's own probe. Call it once per worker, from a single
+	// goroutine, before dispatching morsels.
+	NewWorker(p *probe.Probe, as *probe.AddrSpace) Worker
+}
+
+// Worker executes morsels of the driver table. A worker is owned by
+// one goroutine; distinct workers never share mutable state.
+type Worker interface {
+	// RunMorsel executes driver rows [start, end).
+	RunMorsel(start, end int)
+	// Partial returns the worker's accumulated aggregation state.
+	Partial() *Partial
+}
+
+// BuildState is one join's shared, read-only build result: the hash
+// table, the slot-to-build-row map, and the build-side payload columns
+// loaded per match. Both engines' prepare phases produce it; workers
+// probe it concurrently.
+type BuildState struct {
+	HT    *join.Table
+	RowOf []int32 // hash slot -> build-table row (filters skip rows)
+	// Payload columns of the build table read downstream of the join.
+	Payload []Col
+}
+
+// AggState is the thread-local aggregation state both engines' workers
+// carry: a private group table sized from the planner estimate (or the
+// scalar accumulators), merged with the other workers' after the scan.
+type AggState struct {
+	Grouped bool
+	Grp     *GroupTable
+	Acc     [][]int64 // [agg][slot]
+	AggR    probe.Region
+	Stride  uint64
+	Est     uint64
+	Scalar  []int64
+	Matched int64
+	KeyVals []int64
+}
+
+// NewAggState builds one worker's aggregation state for a pipeline,
+// carving the group table and aggregate-row region (named name and
+// aggName) from the worker's address space.
+func NewAggState(pl *Pipeline, as *probe.AddrSpace, name, aggName string) *AggState {
+	s := &AggState{
+		Grouped: len(pl.GroupBy) > 0,
+		Scalar:  make([]int64, len(pl.Aggs)),
+		KeyVals: make([]int64, len(pl.GroupBy)),
+	}
+	if s.Grouped {
+		g := pl.EstGroups
+		if g <= 0 {
+			g = pl.Tables[0].Rows/2 + 1
+		}
+		s.Est = uint64(g)
+		s.Grp = NewGroupTable(as, name, g)
+		s.Acc = make([][]int64, len(pl.Aggs))
+		s.Stride = uint64(len(pl.Aggs)) * 8
+		s.AggR = as.Alloc(aggName, s.Est*s.Stride)
+	}
+	return s
+}
+
+// Partial returns the state in the form MergePartials combines.
+func (s *AggState) Partial() *Partial {
+	if s.Grouped {
+		return &Partial{Tuples: s.Grp.Tuples(), Aggs: s.Acc, Matched: s.Matched}
+	}
+	return &Partial{Scalar: s.Scalar, Matched: s.Matched}
+}
+
+// Partial is the thread-local aggregation state one worker produced
+// over its morsels, in a form MergePartials can combine.
+type Partial struct {
+	// Grouped state: group key tuples in insertion order plus the
+	// aggregate values, indexed [agg][group].
+	Tuples [][]int64
+	Aggs   [][]int64
+	// Scalar state: one value per aggregate, valid when Matched > 0.
+	Scalar  []int64
+	Matched int64
+}
+
+// tupleKey encodes a group key tuple for exact map lookup (the mixed
+// GroupKey hash only buckets; merging needs full-tuple identity).
+func tupleKey(t []int64) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return string(b)
+}
+
+// merge combines a partial aggregate value into dst[i]. first marks
+// the group's first contribution (min/max need a seed, sum/count
+// accumulate from zero).
+func (a Agg) merge(dst []int64, i int, v int64, first bool) {
+	switch a.Kind {
+	case AggSum, AggCount:
+		dst[i] += v
+	case AggMin:
+		if first || v < dst[i] {
+			dst[i] = v
+		}
+	case AggMax:
+		if first || v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// MergePartials combines worker states into the pipeline's result,
+// following the repository convention: Sum is the first aggregate
+// (scalar) or its sum over groups, and grouped queries fold one
+// checksum row per group. Every aggregate merge is associative and
+// the checksum order-insensitive, so the result is identical for any
+// partitioning of the driver — 1 worker or 16.
+func MergePartials(pl *Pipeline, parts []*Partial) engine.Result {
+	var res engine.Result
+	if len(pl.GroupBy) == 0 {
+		out := make([]int64, len(pl.Aggs))
+		first := true
+		for _, pt := range parts {
+			if pt == nil || pt.Matched == 0 {
+				continue
+			}
+			for ai, a := range pl.Aggs {
+				a.merge(out, ai, pt.Scalar[ai], first)
+			}
+			first = false
+		}
+		res.Sum = out[0]
+		res.Rows = 1
+		return res
+	}
+	idx := map[string]int{}
+	var vals [][]int64
+	for _, pt := range parts {
+		if pt == nil {
+			continue
+		}
+		for s := range pt.Tuples {
+			k := tupleKey(pt.Tuples[s])
+			g, ok := idx[k]
+			if !ok {
+				g = len(vals)
+				idx[k] = g
+				vals = append(vals, make([]int64, len(pl.Aggs)))
+			}
+			for ai, a := range pl.Aggs {
+				a.merge(vals[g], ai, pt.Aggs[ai][s], !ok)
+			}
+		}
+	}
+	for _, v := range vals {
+		res.Sum += v[0]
+		res.AddRow(v...)
+	}
+	return res
+}

@@ -42,26 +42,47 @@ func sortedCols(set map[[2]int]bool, table int) [][2]int {
 	return out
 }
 
-// ExecPipeline executes an ad-hoc relational pipeline the way the
-// vectorized engine executes its hardcoded queries: every conjunct,
-// hash probe, arithmetic operator and aggregate update is a primitive
-// streaming one selection-vector-guided chunk of ~1024 values through
-// materialized intermediates. Join probes follow duplicate-key chains,
-// growing the match vectors when a build key is 1:N. The result
-// convention matches the compiled executor: scalar queries fill Sum;
-// grouped queries fold one row of aggregate values per group and sum
-// the first aggregate.
-func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (engine.Result, error) {
+// prepared is a pipeline resolved against this engine with its build
+// phase done and the driver's column sets classified. It is immutable
+// once PreparePipeline returns; workers probe it concurrently.
+type prepared struct {
+	e  *Engine
+	pl *relop.Pipeline
+	b  *relop.Bound
+
+	builds []relop.BuildState
+
+	conjs     []*relop.Pred
+	conjCols  [][][2]int
+	probeCols []relop.Col
+	aggCols   []relop.Col
+	streamAll bool
+
+	pkAlu, pkMul []uint64
+	gAlu, gMul   uint64
+	aggAlu       []uint64
+	aggMul       []uint64
+
+	footprint uint64
+}
+
+// PreparePipeline validates and resolves an ad-hoc relational pipeline
+// and runs its build phase as chunked build scans, charging the events
+// to p. The returned fragment is shared: build once, probe in
+// parallel (morsel-driven, Section 10).
+func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (relop.Prepared, error) {
 	if err := pl.Validate(); err != nil {
-		return engine.Result{}, err
+		return nil, err
 	}
 	b, err := relop.Resolve(pl, e.i64, e.i8)
 	if err != nil {
-		return engine.Result{}, err
+		return nil, err
 	}
-
-	n := pl.Tables[0].Rows
-	p.SetFootprint(e.costs.Footprint*uint64(1+len(pl.Joins)), uint64(n/e.vec+1))
+	pr := &prepared{e: e, pl: pl, b: b, footprint: e.costs.Footprint * uint64(1+len(pl.Joins))}
+	// The chunked build scans run the same primitive set the probe pass
+	// will; charge the footprint to the build probe too (workers set it
+	// again on their own probes).
+	p.SetFootprint(pr.footprint, 1)
 
 	rows := make([]int, len(pl.Tables))
 
@@ -79,13 +100,7 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 		j.ProbeKey.Cols(downstream)
 	}
 
-	// Build phase: chunked build scans.
-	type buildState struct {
-		ht      *join.Table
-		rowOf   []int32
-		payload []relop.Col
-	}
-	builds := make([]buildState, len(pl.Joins))
+	pr.builds = make([]relop.BuildState, len(pl.Joins))
 	for ji, j := range pl.Joins {
 		bt := pl.Tables[j.Build]
 		bn := bt.Rows
@@ -126,19 +141,19 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 		for _, k := range sortedCols(downstream, j.Build) {
 			payload = append(payload, b.Tables[k[0]][k[1]])
 		}
-		builds[ji] = buildState{ht: ht, rowOf: rowOf, payload: payload}
+		pr.builds[ji] = relop.BuildState{HT: ht, RowOf: rowOf, Payload: payload}
 	}
 
 	// Driver column classification: conjunct columns load inside their
 	// selection primitives; probe-key columns before the join
 	// primitives; aggregation inputs after the joins.
-	conjs := pl.Filter.Conjuncts()
-	conjCols := make([][][2]int, len(conjs))
+	pr.conjs = pl.Filter.Conjuncts()
+	pr.conjCols = make([][][2]int, len(pr.conjs))
 	filterSet := map[[2]int]bool{}
-	for ci, cj := range conjs {
+	for ci, cj := range pr.conjs {
 		set := map[[2]int]bool{}
 		cj.Cols(set)
-		conjCols[ci] = sortedCols(set, 0)
+		pr.conjCols[ci] = sortedCols(set, 0)
 		for k := range set {
 			filterSet[k] = true
 		}
@@ -147,10 +162,9 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 	for _, j := range pl.Joins {
 		j.ProbeKey.Cols(probeSet)
 	}
-	var probeCols []relop.Col
 	for _, k := range sortedCols(probeSet, 0) {
 		if !filterSet[k] {
-			probeCols = append(probeCols, b.Tables[k[0]][k[1]])
+			pr.probeCols = append(pr.probeCols, b.Tables[k[0]][k[1]])
 		}
 	}
 	aggSet := map[[2]int]bool{}
@@ -162,79 +176,95 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 			a.Arg.Cols(aggSet)
 		}
 	}
-	var aggCols []relop.Col
 	for _, k := range sortedCols(aggSet, 0) {
 		if !filterSet[k] && !probeSet[k] {
-			aggCols = append(aggCols, b.Tables[k[0]][k[1]])
+			pr.aggCols = append(pr.aggCols, b.Tables[k[0]][k[1]])
 		}
 	}
-	streamAll := pl.Filter == nil || pl.EstSel >= 0.5
+	pr.streamAll = pl.Filter == nil || pl.EstSel >= 0.5
 
-	pkAlu := make([]uint64, len(pl.Joins))
-	pkMul := make([]uint64, len(pl.Joins))
+	pr.pkAlu = make([]uint64, len(pl.Joins))
+	pr.pkMul = make([]uint64, len(pl.Joins))
 	for ji, j := range pl.Joins {
-		pkAlu[ji], pkMul[ji] = j.ProbeKey.OpCounts()
+		pr.pkAlu[ji], pr.pkMul[ji] = j.ProbeKey.OpCounts()
 	}
-	var gAlu, gMul uint64
 	for _, g := range pl.GroupBy {
 		a, m := g.OpCounts()
-		gAlu, gMul = gAlu+a, gMul+m
+		pr.gAlu, pr.gMul = pr.gAlu+a, pr.gMul+m
 	}
-	aggAlu := make([]uint64, len(pl.Aggs))
-	aggMul := make([]uint64, len(pl.Aggs))
+	pr.aggAlu = make([]uint64, len(pl.Aggs))
+	pr.aggMul = make([]uint64, len(pl.Aggs))
 	for ai, a := range pl.Aggs {
 		if a.Arg != nil {
-			aggAlu[ai], aggMul[ai] = a.Arg.OpCounts()
+			pr.aggAlu[ai], pr.aggMul[ai] = a.Arg.OpCounts()
 		}
 	}
+	return pr, nil
+}
 
-	grouped := len(pl.GroupBy) > 0
-	var (
-		grp      *relop.GroupTable
-		aggState [][]int64
-		aggR     probe.Region
-		stride   uint64
-		est      uint64
-		scalar   = make([]int64, len(pl.Aggs))
-		matched  int64
-		keyVals  = make([]int64, len(pl.GroupBy))
-	)
-	if grouped {
-		g := pl.EstGroups
-		if g <= 0 {
-			g = n/2 + 1
-		}
-		est = uint64(g)
-		grp = relop.NewGroupTable(as, "tw.sql.groupby", g)
-		aggState = make([][]int64, len(pl.Aggs))
-		stride = uint64(len(pl.Aggs)) * 8
-		aggR = as.Alloc("tw.sql.agg", est*stride)
+// Rows is the driver-table row count.
+func (pr *prepared) Rows() int { return pr.pl.Tables[0].Rows }
+
+// MorselAlign keeps morsel boundaries on vector boundaries so every
+// worker's chunks coincide with the serial execution's.
+func (pr *prepared) MorselAlign() int { return pr.e.vec }
+
+// worker is one thread's private execution state: selection vectors,
+// current-row cursors and aggregate accumulators.
+type worker struct {
+	pr *prepared
+	p  *probe.Probe
+
+	rows    []int
+	sel     []int32
+	selNext []int32
+	agg     *relop.AggState
+}
+
+// NewWorker builds one worker's thread-local state; for grouped
+// queries that includes a private group table sized from the planner
+// estimate, merged with the other workers' tables after the scan.
+func (pr *prepared) NewWorker(p *probe.Probe, as *probe.AddrSpace) relop.Worker {
+	pl := pr.pl
+	p.SetFootprint(pr.footprint, 0)
+	return &worker{
+		pr:      pr,
+		p:       p,
+		rows:    make([]int, len(pl.Tables)),
+		sel:     make([]int32, pr.e.vec),
+		selNext: make([]int32, pr.e.vec),
+		agg:     relop.NewAggState(pl, as, "tw.sql.groupby", "tw.sql.agg"),
 	}
+}
 
-	sel := make([]int32, e.vec)
-	selNext := make([]int32, e.vec)
+// RunMorsel executes driver rows [start, end) as a sequence of
+// vector-sized chunks through the engine's primitives.
+func (w *worker) RunMorsel(start, end int) {
+	pr, pl, p, e := w.pr, w.pr.pl, w.p, w.pr.e
+	b := pr.b
+	w.p.AddTraversals(uint64(end-start+e.vec-1) / uint64(e.vec))
 
-	var res engine.Result
-	for start := 0; start < n; start += e.vec {
-		end := start + e.vec
-		if end > n {
-			end = n
+	sel, selNext := w.sel, w.selNext
+	for cs := start; cs < end; cs += e.vec {
+		ce := cs + e.vec
+		if ce > end {
+			ce = end
 		}
-		cn := uint64(end - start)
+		cn := uint64(ce - cs)
 		k := int(cn)
 		for i := 0; i < k; i++ {
-			sel[i] = int32(start + i)
+			sel[i] = int32(cs + i)
 		}
 
 		// Selection primitives, one per conjunct.
-		for ci, cj := range conjs {
+		for ci, cj := range pr.conjs {
 			in := uint64(k)
 			if ci == 0 {
-				for _, c := range conjCols[ci] {
-					e.loadChunk(p, b.Tables[c[0]][c[1]], start, cn)
+				for _, c := range pr.conjCols[ci] {
+					e.loadChunk(p, b.Tables[c[0]][c[1]], cs, cn)
 				}
 			} else {
-				for _, c := range conjCols[ci] {
+				for _, c := range pr.conjCols[ci] {
 					col := b.Tables[c[0]][c[1]]
 					for _, idx := range sel[:k] {
 						e.gather(p, col.Addr(int(idx)))
@@ -245,8 +275,8 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 			alu, mul := cj.OpCounts()
 			out := 0
 			for _, idx := range sel[:k] {
-				rows[0] = int(idx)
-				pass := cj.Eval(b, rows)
+				w.rows[0] = int(idx)
+				pass := cj.Eval(b, w.rows)
 				p.BranchOp(uint64(siteSQLFilter+ci), pass)
 				if pass {
 					selNext[out] = idx
@@ -266,9 +296,9 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 		}
 
 		// Probe-key inputs.
-		for _, c := range probeCols {
-			if streamAll {
-				e.loadChunk(p, c, start, cn)
+		for _, c := range pr.probeCols {
+			if pr.streamAll {
+				e.loadChunk(p, c, cs, cn)
 			} else {
 				for _, idx := range sel[:k] {
 					e.gather(p, c.Addr(int(idx)))
@@ -284,21 +314,21 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 		for ji, j := range pl.Joins {
 			in := len(matchCols[0])
 			e.mulArith(p, uint64(in)*2)
-			e.arith(p, uint64(in)*pkAlu[ji])
-			e.mulArith(p, uint64(in)*pkMul[ji])
-			bs := &builds[ji]
+			e.arith(p, uint64(in)*pr.pkAlu[ji])
+			e.mulArith(p, uint64(in)*pr.pkMul[ji])
+			bs := &pr.builds[ji]
 			site := uint64(siteSQLProbe + 4*ji)
 			out := make([][]int32, len(matchCols)+1)
 			for pos := 0; pos < in; pos++ {
-				rows[0] = int(matchCols[0][pos])
+				w.rows[0] = int(matchCols[0][pos])
 				for pj := 0; pj < ji; pj++ {
-					rows[pl.Joins[pj].Build] = int(matchCols[1+pj][pos])
+					w.rows[pl.Joins[pj].Build] = int(matchCols[1+pj][pos])
 				}
-				key := j.ProbeKey.Eval(b, rows)
-				for slot := bs.ht.LookupProbed(p, site, key); slot >= 0; slot = bs.ht.LookupNextProbed(p, site, slot, key) {
-					br := bs.rowOf[slot]
-					rows[j.Build] = int(br)
-					for _, c := range bs.payload {
+				key := j.ProbeKey.Eval(b, w.rows)
+				for slot := bs.HT.LookupProbed(p, site, key); slot >= 0; slot = bs.HT.LookupNextProbed(p, site, slot, key) {
+					br := bs.RowOf[slot]
+					w.rows[j.Build] = int(br)
+					for _, c := range bs.Payload {
 						p.Load(c.Addr(int(br)), c.ElemBytes())
 					}
 					for ci := range matchCols {
@@ -315,17 +345,17 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 
 		// setRows positions every table's current row for one match.
 		setRows := func(pos int) {
-			rows[0] = int(matchCols[0][pos])
+			w.rows[0] = int(matchCols[0][pos])
 			for ji := range pl.Joins {
-				rows[pl.Joins[ji].Build] = int(matchCols[1+ji][pos])
+				w.rows[pl.Joins[ji].Build] = int(matchCols[1+ji][pos])
 			}
 		}
 
 		// Aggregation inputs.
 		uk := uint64(k)
-		for _, c := range aggCols {
-			if streamAll && len(pl.Joins) == 0 {
-				e.loadChunk(p, c, start, cn)
+		for _, c := range pr.aggCols {
+			if pr.streamAll && len(pl.Joins) == 0 {
+				e.loadChunk(p, c, cs, cn)
 			} else {
 				for pos := 0; pos < k; pos++ {
 					e.gather(p, c.Addr(int(matchCols[0][pos])))
@@ -334,38 +364,38 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 			}
 		}
 
-		if grouped {
+		if ag := w.agg; ag.Grouped {
 			// Key-hash primitive plus per-chunk hash-group updates.
 			e.mulArith(p, uk*2)
-			e.arith(p, uk*(gAlu+uint64(len(pl.GroupBy)-1)))
-			e.mulArith(p, uk*gMul)
+			e.arith(p, uk*(pr.gAlu+uint64(len(pl.GroupBy)-1)))
+			e.mulArith(p, uk*pr.gMul)
 			for pos := 0; pos < k; pos++ {
 				setRows(pos)
 				for gi, g := range pl.GroupBy {
-					keyVals[gi] = g.Eval(b, rows)
+					ag.KeyVals[gi] = g.Eval(b, w.rows)
 				}
-				slot, inserted := grp.FindOrInsert(p, siteSQLGroup, keyVals)
+				slot, inserted := ag.Grp.FindOrInsert(p, siteSQLGroup, ag.KeyVals)
 				if inserted {
-					for ai := range aggState {
-						aggState[ai] = append(aggState[ai], 0)
+					for ai := range ag.Acc {
+						ag.Acc[ai] = append(ag.Acc[ai], 0)
 					}
 				}
 				for ai, a := range pl.Aggs {
 					var v int64
 					if a.Arg != nil {
-						v = a.Arg.Eval(b, rows)
+						v = a.Arg.Eval(b, w.rows)
 					}
-					a.Fold(aggState[ai], int(slot), v, inserted)
+					a.Fold(ag.Acc[ai], int(slot), v, inserted)
 				}
 				// Overflowing slots of an underestimated table model the
 				// operator's rehash region (addresses stay in-allocation).
-				off := (uint64(slot) % est) * stride
-				p.Load(aggR.Base+off, stride)
-				p.Store(aggR.Base+off, stride)
+				off := (uint64(slot) % ag.Est) * ag.Stride
+				p.Load(ag.AggR.Base+off, ag.Stride)
+				p.Store(ag.AggR.Base+off, ag.Stride)
 			}
 			for ai := range pl.Aggs {
-				e.arith(p, uk*(aggAlu[ai]+1))
-				e.mulArith(p, uk*aggMul[ai])
+				e.arith(p, uk*(pr.aggAlu[ai]+1))
+				e.mulArith(p, uk*pr.aggMul[ai])
 				e.vecStore(p, e.vecR[2].Base, uk)
 				e.primOverhead(p, uk)
 			}
@@ -374,22 +404,22 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 		} else {
 			for pos := 0; pos < k; pos++ {
 				setRows(pos)
-				first := matched == 0
+				first := ag.Matched == 0
 				for ai, a := range pl.Aggs {
 					var v int64
 					if a.Arg != nil {
-						v = a.Arg.Eval(b, rows)
+						v = a.Arg.Eval(b, w.rows)
 					}
-					a.Fold(scalar, ai, v, first)
+					a.Fold(ag.Scalar, ai, v, first)
 				}
-				matched++
+				ag.Matched++
 			}
 			// One arithmetic primitive per aggregate expression, then
 			// the serial reduction (as in the projection's aggregation
 			// primitive).
 			for ai := range pl.Aggs {
-				e.arith(p, uk*(aggAlu[ai]+1))
-				e.mulArith(p, uk*aggMul[ai])
+				e.arith(p, uk*(pr.aggAlu[ai]+1))
+				e.mulArith(p, uk*pr.aggMul[ai])
 				if ai < len(pl.Aggs)-1 {
 					e.vecStore(p, e.vecR[2].Base, uk)
 				}
@@ -404,19 +434,28 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 			}
 		}
 	}
+	w.sel, w.selNext = sel, selNext
+}
 
-	if grouped {
-		rowVals := make([]int64, len(pl.Aggs))
-		for s := 0; s < grp.Len(); s++ {
-			for ai := range pl.Aggs {
-				rowVals[ai] = aggState[ai][s]
-			}
-			res.Sum += rowVals[0]
-			res.AddRow(rowVals...)
-		}
-	} else {
-		res.Sum = scalar[0]
-		res.Rows = 1
+// Partial returns the worker's aggregation state for merging.
+func (w *worker) Partial() *relop.Partial { return w.agg.Partial() }
+
+// ExecPipeline executes an ad-hoc relational pipeline the way the
+// vectorized engine executes its hardcoded queries: every conjunct,
+// hash probe, arithmetic operator and aggregate update is a primitive
+// streaming one selection-vector-guided chunk of ~1024 values through
+// materialized intermediates. Join probes follow duplicate-key chains,
+// growing the match vectors when a build key is 1:N. The result
+// convention matches the compiled executor: scalar queries fill Sum;
+// grouped queries fold one row of aggregate values per group and sum
+// the first aggregate. It is the single-threaded form of the
+// morsel-driven executor: one worker, one morsel spanning the driver.
+func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (engine.Result, error) {
+	pr, err := e.PreparePipeline(p, as, pl)
+	if err != nil {
+		return engine.Result{}, err
 	}
-	return res, nil
+	w := pr.NewWorker(p, as)
+	w.RunMorsel(0, pr.Rows())
+	return relop.MergePartials(pl, []*relop.Partial{w.Partial()}), nil
 }

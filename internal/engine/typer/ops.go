@@ -19,40 +19,57 @@ const (
 	siteSQLProbe // + 4*joinIndex (LookupProbed also uses +1)
 )
 
-// ExecPipeline executes an ad-hoc relational pipeline the way the
-// compiled engine executes its hardcoded queries: every hash build is
-// fused into the build table's scan, and filter, probes, arithmetic
-// and aggregation run in one data-centric pass over the driver, with
-// predicates folded behind a single branch per tuple. Joins follow
-// duplicate-key chains, so 1:N build sides produce every match. The
-// returned result follows the repository convention: scalar queries
-// fill Sum; grouped queries fold one row of aggregate values per
-// group and sum the first aggregate.
-func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (engine.Result, error) {
+// prepared is a pipeline resolved against this engine with its build
+// phase done. It is immutable once PreparePipeline returns, so any
+// number of workers may probe it concurrently.
+type prepared struct {
+	e  *Engine
+	pl *relop.Pipeline
+	b  *relop.Bound
+
+	builds []relop.BuildState
+
+	filterCols  []int
+	payloadCols []int
+	streamAll   bool
+
+	// Pre-tallied micro-op costs per evaluation.
+	fAlu, fMul uint64
+	pkAlu      []uint64
+	pkMul      []uint64
+	gAlu, gMul uint64
+	aAlu, aMul uint64
+
+	footprint uint64
+}
+
+// PreparePipeline validates and resolves an ad-hoc relational pipeline
+// and runs its build phase — one fused build scan per join, as the
+// compiled engine's hardcoded queries do — charging the build events
+// to p. The returned fragment is shared: build once, probe in
+// parallel (morsel-driven, Section 10).
+func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (relop.Prepared, error) {
 	if err := pl.Validate(); err != nil {
-		return engine.Result{}, err
+		return nil, err
 	}
 	b, err := relop.Resolve(pl, e.i64, e.i8)
 	if err != nil {
-		return engine.Result{}, err
+		return nil, err
 	}
 
 	mult := uint64(1 + len(pl.Joins))
 	if len(pl.GroupBy) > 0 {
 		mult++
 	}
-	p.SetFootprint(e.costs.Footprint*mult, 1)
+	pr := &prepared{e: e, pl: pl, b: b, footprint: e.costs.Footprint * mult}
+	// The build scans run the same generated code image the probe pass
+	// will; charge the footprint to the build probe too (workers set it
+	// again on their own probes).
+	p.SetFootprint(pr.footprint, 1)
 
 	rows := make([]int, len(pl.Tables))
 
-	// Build phase: one fused build scan per join.
-	type buildState struct {
-		ht    *join.Table
-		rowOf []int32 // hash slot -> build-table row (filters skip rows)
-		// payload columns of the build table read downstream, loaded
-		// per match like the hardcoded Q9 probe pass.
-		payload []relop.Col
-	}
+	// Column sets read downstream of the builds.
 	downstream := map[[2]int]bool{}
 	for _, g := range pl.GroupBy {
 		g.Cols(downstream)
@@ -66,7 +83,7 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 		j.ProbeKey.Cols(downstream)
 	}
 
-	builds := make([]buildState, len(pl.Joins))
+	pr.builds = make([]relop.BuildState, len(pl.Joins))
 	for ji, j := range pl.Joins {
 		bt := pl.Tables[j.Build]
 		n := bt.Rows
@@ -104,179 +121,199 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 				payload = append(payload, b.Tables[k[0]][k[1]])
 			}
 		}
-		builds[ji] = buildState{ht: ht, rowOf: rowOf, payload: payload}
+		pr.builds[ji] = relop.BuildState{HT: ht, RowOf: rowOf, Payload: payload}
 	}
 
-	// Probe pass over the driver: fused filter + probes + aggregation.
-	driver := pl.Tables[0]
-	n := driver.Rows
-	filterCols, payloadCols := pl.DriverCols()
+	pr.filterCols, pr.payloadCols = pl.DriverCols()
 	// Like the hardcoded queries, predicate columns always stream;
 	// payload columns stream when most tuples survive (Q1) and are
 	// gathered sparsely when the filter is selective (Q6).
-	streamAll := pl.Filter == nil || pl.EstSel >= 0.5
-	for _, ci := range filterCols {
-		c := b.Tables[0][ci]
-		p.SeqLoad(c.Base(), uint64(n)*c.ElemBytes(), c.ElemBytes())
-	}
-	if streamAll {
-		for _, ci := range payloadCols {
-			c := b.Tables[0][ci]
-			p.SeqLoad(c.Base(), uint64(n)*c.ElemBytes(), c.ElemBytes())
-		}
-	}
+	pr.streamAll = pl.Filter == nil || pl.EstSel >= 0.5
 
-	fAlu, fMul := pl.Filter.OpCounts()
-	pkAlu := make([]uint64, len(pl.Joins))
-	pkMul := make([]uint64, len(pl.Joins))
+	pr.fAlu, pr.fMul = pl.Filter.OpCounts()
+	pr.pkAlu = make([]uint64, len(pl.Joins))
+	pr.pkMul = make([]uint64, len(pl.Joins))
 	for ji, j := range pl.Joins {
-		pkAlu[ji], pkMul[ji] = j.ProbeKey.OpCounts()
+		pr.pkAlu[ji], pr.pkMul[ji] = j.ProbeKey.OpCounts()
 	}
-	var gAlu, gMul uint64
 	for _, g := range pl.GroupBy {
 		a, m := g.OpCounts()
-		gAlu, gMul = gAlu+a, gMul+m
+		pr.gAlu, pr.gMul = pr.gAlu+a, pr.gMul+m
 	}
-	var aAlu, aMul uint64
 	for _, a := range pl.Aggs {
 		if a.Arg != nil {
 			al, m := a.Arg.OpCounts()
-			aAlu, aMul = aAlu+al+1, aMul+m
+			pr.aAlu, pr.aMul = pr.aAlu+al+1, pr.aMul+m
 		} else {
-			aAlu++
+			pr.aAlu++
 		}
 	}
+	return pr, nil
+}
 
-	grouped := len(pl.GroupBy) > 0
-	var (
-		grp      *relop.GroupTable
-		aggState [][]int64
-		aggR     probe.Region
-		stride   uint64
-		est      uint64
-		scalar   = make([]int64, len(pl.Aggs))
-		matched  int64
-		keyVals  = make([]int64, len(pl.GroupBy))
-	)
-	if grouped {
-		g := pl.EstGroups
-		if g <= 0 {
-			g = n/2 + 1
-		}
-		est = uint64(g)
-		grp = relop.NewGroupTable(as, "ty.sql.groupby", g)
-		aggState = make([][]int64, len(pl.Aggs))
-		stride = uint64(len(pl.Aggs)) * 8
-		aggR = as.Alloc("ty.sql.agg", est*stride)
+// Rows is the driver-table row count.
+func (pr *prepared) Rows() int { return pr.pl.Tables[0].Rows }
+
+// MorselAlign is 1: the fused loop has no chunk structure to respect.
+func (pr *prepared) MorselAlign() int { return 1 }
+
+// worker is one thread's private execution state: its own current-row
+// cursor, group table and aggregate accumulators.
+type worker struct {
+	pr *prepared
+	p  *probe.Probe
+
+	rows []int
+	agg  *relop.AggState
+}
+
+// NewWorker builds one worker's thread-local state: the compiled
+// engine's generated code footprint and, for grouped queries, a
+// private group table sized from the planner estimate (merged with the
+// other workers' tables after the scan).
+func (pr *prepared) NewWorker(p *probe.Probe, as *probe.AddrSpace) relop.Worker {
+	pl := pr.pl
+	p.SetFootprint(pr.footprint, 1)
+	return &worker{
+		pr:   pr,
+		p:    p,
+		rows: make([]int, len(pl.Tables)),
+		agg:  relop.NewAggState(pl, as, "ty.sql.groupby", "ty.sql.agg"),
 	}
+}
 
-	// aggRow folds the current row combination into the aggregates.
-	aggRow := func() {
-		matched++
-		if grouped {
-			for gi, g := range pl.GroupBy {
-				keyVals[gi] = g.Eval(b, rows)
+// aggRow folds the current row combination into the aggregates.
+func (w *worker) aggRow() {
+	pr, pl, p, ag := w.pr, w.pr.pl, w.p, w.agg
+	ag.Matched++
+	if ag.Grouped {
+		for gi, g := range pl.GroupBy {
+			ag.KeyVals[gi] = g.Eval(pr.b, w.rows)
+		}
+		p.ALU(pr.gAlu + uint64(len(pl.GroupBy)-1))
+		p.Mul(pr.gMul + uint64(len(pl.GroupBy)-1))
+		slot, inserted := ag.Grp.FindOrInsert(p, siteSQLGroup, ag.KeyVals)
+		if inserted {
+			for ai := range ag.Acc {
+				ag.Acc[ai] = append(ag.Acc[ai], 0)
 			}
-			p.ALU(gAlu + uint64(len(pl.GroupBy)-1))
-			p.Mul(gMul + uint64(len(pl.GroupBy)-1))
-			slot, inserted := grp.FindOrInsert(p, siteSQLGroup, keyVals)
-			if inserted {
-				for ai := range aggState {
-					aggState[ai] = append(aggState[ai], 0)
-				}
+		}
+		for ai, a := range pl.Aggs {
+			var v int64
+			if a.Arg != nil {
+				v = a.Arg.Eval(pr.b, w.rows)
 			}
-			for ai, a := range pl.Aggs {
-				var v int64
-				if a.Arg != nil {
-					v = a.Arg.Eval(b, rows)
-				}
-				a.Fold(aggState[ai], int(slot), v, inserted)
+			a.Fold(ag.Acc[ai], int(slot), v, inserted)
+		}
+		// Aggregate-row update: load/modify/store plus the serial
+		// arithmetic chain (decimal-style multiply/divide feeds the
+		// accumulate), as in the hardcoded Q1. Overflowing slots of
+		// an underestimated table model the operator's in-place
+		// rehash region (addresses stay within the allocation).
+		off := (uint64(slot) % ag.Est) * ag.Stride
+		p.Load(ag.AggR.Base+off, ag.Stride)
+		p.Store(ag.AggR.Base+off, ag.Stride)
+		p.ALU(pr.aAlu)
+		p.Mul(pr.aMul)
+		p.Dep(2 + 2*pr.aMul)
+	} else {
+		for ai, a := range pl.Aggs {
+			var v int64
+			if a.Arg != nil {
+				v = a.Arg.Eval(pr.b, w.rows)
 			}
-			// Aggregate-row update: load/modify/store plus the serial
-			// arithmetic chain (decimal-style multiply/divide feeds the
-			// accumulate), as in the hardcoded Q1. Overflowing slots of
-			// an underestimated table model the operator's in-place
-			// rehash region (addresses stay within the allocation).
-			off := (uint64(slot) % est) * stride
-			p.Load(aggR.Base+off, stride)
-			p.Store(aggR.Base+off, stride)
-			p.ALU(aAlu)
-			p.Mul(aMul)
-			p.Dep(2 + 2*aMul)
-		} else {
-			for ai, a := range pl.Aggs {
-				var v int64
-				if a.Arg != nil {
-					v = a.Arg.Eval(b, rows)
-				}
-				a.Fold(scalar, ai, v, matched == 1)
-			}
-			p.ALU(aAlu)
-			p.Mul(aMul)
-			p.Dep(1 + aMul/2)
+			a.Fold(ag.Scalar, ai, v, ag.Matched == 1)
+		}
+		p.ALU(pr.aAlu)
+		p.Mul(pr.aMul)
+		p.Dep(1 + pr.aMul/2)
+	}
+}
+
+// probeJoin probes join ji for the current rows, following the
+// duplicate-key chain so every matching build row contributes.
+func (w *worker) probeJoin(ji int) {
+	pr, p := w.pr, w.p
+	if ji == len(pr.pl.Joins) {
+		w.aggRow()
+		return
+	}
+	j := pr.pl.Joins[ji]
+	p.ALU(pr.pkAlu[ji])
+	p.Mul(pr.pkMul[ji])
+	key := j.ProbeKey.Eval(pr.b, w.rows)
+	site := uint64(siteSQLProbe + 4*ji)
+	bs := &pr.builds[ji]
+	for slot := bs.HT.LookupProbed(p, site, key); slot >= 0; slot = bs.HT.LookupNextProbed(p, site, slot, key) {
+		w.rows[j.Build] = int(bs.RowOf[slot])
+		for _, c := range bs.Payload {
+			p.Load(c.Addr(w.rows[j.Build]), c.ElemBytes())
+		}
+		w.probeJoin(ji + 1)
+	}
+}
+
+// RunMorsel executes driver rows [start, end): the fused filter +
+// probes + aggregation pass of the compiled engine, restricted to one
+// cache-friendly slice of the scan.
+func (w *worker) RunMorsel(start, end int) {
+	pr, pl, p := w.pr, w.pr.pl, w.p
+	n := uint64(end - start)
+	for _, ci := range pr.filterCols {
+		c := pr.b.Tables[0][ci]
+		p.SeqLoad(c.Addr(start), n*c.ElemBytes(), c.ElemBytes())
+	}
+	if pr.streamAll {
+		for _, ci := range pr.payloadCols {
+			c := pr.b.Tables[0][ci]
+			p.SeqLoad(c.Addr(start), n*c.ElemBytes(), c.ElemBytes())
 		}
 	}
-
-	// probeJoin probes join ji for the current rows, following the
-	// duplicate-key chain so every matching build row contributes.
-	var probeJoin func(ji int)
-	probeJoin = func(ji int) {
-		if ji == len(pl.Joins) {
-			aggRow()
-			return
-		}
-		j := pl.Joins[ji]
-		p.ALU(pkAlu[ji])
-		p.Mul(pkMul[ji])
-		key := j.ProbeKey.Eval(b, rows)
-		site := uint64(siteSQLProbe + 4*ji)
-		bs := &builds[ji]
-		for slot := bs.ht.LookupProbed(p, site, key); slot >= 0; slot = bs.ht.LookupNextProbed(p, site, slot, key) {
-			rows[j.Build] = int(bs.rowOf[slot])
-			for _, c := range bs.payload {
-				p.Load(c.Addr(rows[j.Build]), c.ElemBytes())
-			}
-			probeJoin(ji + 1)
-		}
-	}
-
-	for i := 0; i < n; i++ {
-		rows[0] = i
+	for i := start; i < end; i++ {
+		w.rows[0] = i
 		if pl.Filter != nil {
 			// The compiled engine folds the conjunction into arithmetic
 			// behind a single branch (Section 6: Typer only experiences
 			// the overall selectivity).
-			p.ALU(fAlu)
-			p.Mul(fMul)
-			pass := pl.Filter.Eval(b, rows)
+			p.ALU(pr.fAlu)
+			p.Mul(pr.fMul)
+			pass := pl.Filter.Eval(pr.b, w.rows)
 			p.BranchOp(siteSQLFilter, pass)
 			if !pass {
 				continue
 			}
 		}
-		if !streamAll {
-			for _, ci := range payloadCols {
-				c := b.Tables[0][ci]
+		if !pr.streamAll {
+			for _, ci := range pr.payloadCols {
+				c := pr.b.Tables[0][ci]
 				p.SparseLoad(c.Addr(i), c.ElemBytes())
 			}
 		}
-		probeJoin(0)
+		w.probeJoin(0)
 	}
-	e.loopTail(p, uint64(n))
+	pr.e.loopTail(p, n)
+}
 
-	var res engine.Result
-	if grouped {
-		rowVals := make([]int64, len(pl.Aggs))
-		for s := 0; s < grp.Len(); s++ {
-			for ai := range pl.Aggs {
-				rowVals[ai] = aggState[ai][s]
-			}
-			res.Sum += rowVals[0]
-			res.AddRow(rowVals...)
-		}
-	} else {
-		res.Sum = scalar[0]
-		res.Rows = 1
+// Partial returns the worker's aggregation state for merging.
+func (w *worker) Partial() *relop.Partial { return w.agg.Partial() }
+
+// ExecPipeline executes an ad-hoc relational pipeline the way the
+// compiled engine executes its hardcoded queries: every hash build is
+// fused into the build table's scan, and filter, probes, arithmetic
+// and aggregation run in one data-centric pass over the driver, with
+// predicates folded behind a single branch per tuple. Joins follow
+// duplicate-key chains, so 1:N build sides produce every match. The
+// returned result follows the repository convention: scalar queries
+// fill Sum; grouped queries fold one row of aggregate values per
+// group and sum the first aggregate. It is the single-threaded form
+// of the morsel-driven executor: one worker, one morsel spanning the
+// whole driver.
+func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (engine.Result, error) {
+	pr, err := e.PreparePipeline(p, as, pl)
+	if err != nil {
+		return engine.Result{}, err
 	}
-	return res, nil
+	w := pr.NewWorker(p, as)
+	w.RunMorsel(0, pr.Rows())
+	return relop.MergePartials(pl, []*relop.Partial{w.Partial()}), nil
 }

@@ -20,6 +20,8 @@ func extensions() []Experiment {
 		{"ext-groupby", "Group-by micro-benchmark (described in Section 2, figures omitted)", ExtGroupBy},
 		{"ext-sql-q1", "SQL-planned Q1 vs hardcoded (parse, plan, execute)", ExtSQLQ1},
 		{"ext-sql-q6", "SQL-planned Q6 vs hardcoded (parse, plan, execute)", ExtSQLQ6},
+		{"ext-sql-q1-scaling", "SQL-planned Q1 multi-core scaling, measured vs modelled", ExtSQLQ1Scaling},
+		{"ext-sql-q6-scaling", "SQL-planned Q6 multi-core scaling, measured vs modelled", ExtSQLQ6Scaling},
 		{"ext-ablation-mlp", "Ablation: random-access MLP sensitivity of the large join", ExtAblationMLP},
 		{"ext-ablation-pf", "Ablation: prefetch run-ahead distance vs projection stalls", ExtAblationPf},
 		{"ext-scaling", "Self-check: quick vs full configuration shape stability", ExtScaling},

@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"olapmicro/internal/engine"
+	"olapmicro/internal/multicore"
 	"olapmicro/internal/sql"
 )
 
@@ -64,4 +66,100 @@ func extSQLFigure(h *Harness, id, title, text string, q engine.TPCHQuery) Figure
 		f.Notes = append(f.Notes, fmt.Sprintf("cost-based choice: %s", c.Engine))
 	}
 	return f
+}
+
+// ScalingThreads is the thread sweep of the parallel SQL experiments:
+// real morsel-driven runs at each count, reproducing the shape of
+// Figures 29/30 with measured (not modelled) parallel execution.
+var ScalingThreads = []int{1, 2, 4, 8, 16}
+
+// scalingSatFrac marks the socket sequential bandwidth ~saturated, the
+// same threshold the fig29/fig30 notes use.
+const scalingSatFrac = 0.95
+
+// ExtSQLQ1Scaling sweeps SQL-planned Q1 across worker counts and
+// cross-validates the measured curve against the analytical model.
+func ExtSQLQ1Scaling(h *Harness) Figure {
+	return extSQLScalingFigure(h, "ext-sql-q1-scaling",
+		"SQL-planned Q1 multi-core scaling: measured vs modelled", SQLQ1Text)
+}
+
+// ExtSQLQ6Scaling is the same sweep for the selective-scan Q6.
+func ExtSQLQ6Scaling(h *Harness) Figure {
+	return extSQLScalingFigure(h, "ext-sql-q6-scaling",
+		"SQL-planned Q6 multi-core scaling: measured vs modelled", SQLQ6Text)
+}
+
+// extSQLScalingFigure executes one SQL statement at every thread count
+// with the morsel-driven executor, checks the answers stay identical,
+// and compares the measured bandwidth curve and saturation point with
+// multicore.SweepCounts over the single-thread counters — the first
+// cross-validation of the analytical Section-10 model against real
+// parallel execution.
+func extSQLScalingFigure(h *Harness, id, title, text string) Figure {
+	f := Figure{ID: id, Title: title}
+	for _, sys := range HighPerf() {
+		engName := "typer"
+		if sys == Tectorwise {
+			engName = "tectorwise"
+		}
+		c, err := sql.Compile(h.Data, h.Cfg.Machine, text, sql.Options{Engine: engName})
+		if err != nil {
+			f.Notes = append(f.Notes, fmt.Sprintf("%v: compile failed: %v", sys, err))
+			continue
+		}
+		var (
+			base      *sql.Answer
+			measured  []multicore.Result
+			identical = true
+			speedups  []string
+			failed    bool
+		)
+		for _, t := range ScalingThreads {
+			a, err := c.ExecuteThreads(t)
+			if err != nil {
+				f.Notes = append(f.Notes, fmt.Sprintf("%v x%d: %v", sys, t, err))
+				failed = true
+				break
+			}
+			mr := multicore.Result{Threads: t, PerThread: a.Profile,
+				SocketBandwidthGBs: a.Profile.BandwidthGBs, Speedup: 1}
+			if base == nil {
+				base = a
+			} else {
+				if !a.Result.Equal(base.Result) {
+					identical = false
+				}
+				mr.SocketBandwidthGBs = a.Parallel.SocketBandwidthGBs
+				mr.Speedup = base.Profile.Seconds / a.Parallel.Seconds
+			}
+			measured = append(measured, mr)
+			speedups = append(speedups, fmt.Sprintf("x%d %.1f", t, mr.Speedup))
+			s := Series{System: sys, Label: fmt.Sprintf("sql x%d", t),
+				Profile: a.Profile, Result: a.Result, Inputs: a.Inputs}
+			s.Profile.BandwidthGBs = mr.SocketBandwidthGBs
+			f.Series = append(f.Series, s)
+		}
+		if failed || base == nil {
+			continue
+		}
+		modelled := multicore.SweepCounts(base.Inputs, ScalingThreads, multicore.Options{})
+		mSat := multicore.SaturationThreads(modelled, h.Cfg.Machine, scalingSatFrac)
+		sat := multicore.SaturationThreads(measured, h.Cfg.Machine, scalingSatFrac)
+		f.Notes = append(f.Notes,
+			fmt.Sprintf("%v: results identical across %d thread counts: %v", sys, len(ScalingThreads), identical),
+			fmt.Sprintf("%v: socket saturation measured at %s threads, modelled at %s (match: %v)",
+				sys, satString(sat), satString(mSat), sat == mSat),
+			fmt.Sprintf("%v: measured speedup %s", sys, strings.Join(speedups, ", ")))
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf("MAX per-socket sequential: %.1f GB/s",
+		h.Cfg.Machine.PerSocketBW.Sequential/1e9))
+	return f
+}
+
+func satString(threads int) string {
+	if threads < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", threads)
 }

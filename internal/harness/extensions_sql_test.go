@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -46,9 +47,55 @@ func TestExtSQLQueriesMatchHardcoded(t *testing.T) {
 
 // Lookup must resolve the new experiments and the facade count them.
 func TestExtSQLRegistered(t *testing.T) {
-	for _, id := range []string{"ext-sql-q1", "ext-sql-q6"} {
+	for _, id := range []string{"ext-sql-q1", "ext-sql-q6", "ext-sql-q1-scaling", "ext-sql-q6-scaling"} {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("experiment %q is not registered", id)
 		}
+	}
+}
+
+// The Q1 scaling experiment must run real parallel executions at every
+// swept thread count on both engines, with answers identical to the
+// single-thread run and the measured socket-saturation point agreeing
+// with the analytical multicore model.
+func TestExtSQLQ1ScalingMeasuredVsModelled(t *testing.T) {
+	f := ExtSQLQ1Scaling(h(t))
+	want := 2 * len(ScalingThreads)
+	if len(f.Series) != want {
+		t.Fatalf("expected %d series (both engines x thread sweep), got %d:\n%s", want, len(f.Series), f)
+	}
+	for _, sys := range HighPerf() {
+		base := f.Find(sys, "sql x1")
+		if base == nil {
+			t.Fatalf("%v: missing single-thread series", sys)
+		}
+		for _, thr := range ScalingThreads[1:] {
+			s := f.Find(sys, fmt.Sprintf("sql x%d", thr))
+			if s == nil {
+				t.Fatalf("%v: missing x%d series", sys, thr)
+			}
+			if !s.Result.Equal(base.Result) {
+				t.Errorf("%v x%d: %v != single-thread %v", sys, thr, s.Result, base.Result)
+			}
+			if s.Profile.Seconds >= base.Profile.Seconds {
+				t.Errorf("%v x%d: parallel run (%.2f ms) not faster than single-thread (%.2f ms)",
+					sys, thr, s.Profile.Milliseconds(), base.Profile.Milliseconds())
+			}
+		}
+	}
+	var identical, satMatch int
+	for _, n := range f.Notes {
+		if strings.Contains(n, "results identical") && strings.Contains(n, "true") {
+			identical++
+		}
+		if strings.Contains(n, "socket saturation") && strings.Contains(n, "match: true") {
+			satMatch++
+		}
+	}
+	if identical != 2 {
+		t.Errorf("expected both engines to report identical results, notes:\n%s", strings.Join(f.Notes, "\n"))
+	}
+	if satMatch != 2 {
+		t.Errorf("measured saturation disagrees with the multicore model, notes:\n%s", strings.Join(f.Notes, "\n"))
 	}
 }

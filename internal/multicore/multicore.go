@@ -41,14 +41,14 @@ func Run(in tmam.Inputs, threads int, opts Options) Result {
 	}
 	per := in.ScaleCounts(float64(threads))
 
-	bwSeq := minf(m.PerCoreBW.Sequential, m.PerSocketBW.Sequential/float64(threads))
-	bwRand := minf(m.PerCoreBW.Random, m.PerSocketBW.Random/float64(threads))
+	bwSeq := min(m.PerCoreBW.Sequential, m.PerSocketBW.Sequential/float64(threads))
+	bwRand := min(m.PerCoreBW.Random, m.PerSocketBW.Random/float64(threads))
 	if opts.HyperThreading {
 		// Two hyper-threads per core keep ~1.3x more misses in flight:
 		// both the achievable bandwidth and the random-access overlap
 		// improve by the paper's measured factor.
-		bwSeq = minf(bwSeq*m.HyperThreadBWx, m.PerSocketBW.Sequential/float64(threads))
-		bwRand = minf(bwRand*m.HyperThreadBWx, m.PerSocketBW.Random/float64(threads))
+		bwSeq = min(bwSeq*m.HyperThreadBWx, m.PerSocketBW.Sequential/float64(threads))
+		bwRand = min(bwRand*m.HyperThreadBWx, m.PerSocketBW.Random/float64(threads))
 		boost := per.RandMLPBoost
 		if boost <= 0 {
 			boost = 1
@@ -73,7 +73,12 @@ func Run(in tmam.Inputs, threads int, opts Options) Result {
 
 // Sweep runs the paper's thread counts (1, 4, 8, 12, 14).
 func Sweep(in tmam.Inputs, opts Options) []Result {
-	counts := []int{1, 4, 8, 12, 14}
+	return SweepCounts(in, []int{1, 4, 8, 12, 14}, opts)
+}
+
+// SweepCounts runs the model at each of the given thread counts — the
+// measured-vs-modelled scaling experiments sweep powers of two.
+func SweepCounts(in tmam.Inputs, counts []int, opts Options) []Result {
 	out := make([]Result, 0, len(counts))
 	for _, t := range counts {
 		out = append(out, Run(in, t, opts))
@@ -91,11 +96,4 @@ func SaturationThreads(results []Result, m *hw.Machine, frac float64) int {
 		}
 	}
 	return -1
-}
-
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -20,6 +20,7 @@ func (r Region) AddrAt(off uint64) uint64 {
 // cache simulator sees realistic conflict behaviour.
 type AddrSpace struct {
 	next    uint64
+	limit   uint64 // 0 = unbounded; forked children enforce their window
 	regions []Region
 }
 
@@ -40,9 +41,27 @@ func (a *AddrSpace) Alloc(name string, size uint64) Region {
 	a.next += (size + regionAlign - 1) &^ (regionAlign - 1)
 	// Leave one guard page between regions.
 	a.next += regionAlign
+	if a.limit > 0 && a.next > a.limit {
+		// Overrunning a forked window would silently alias the next
+		// worker's regions and corrupt two simulated cores' counters;
+		// fail loudly instead.
+		panic(fmt.Sprintf("probe: region %q overruns the forked address window (%d of %d bytes)",
+			name, a.next, a.limit))
+	}
 	r := Region{Name: name, Base: base, Size: size}
 	a.regions = append(a.regions, r)
 	return r
+}
+
+// Fork reserves a window of size bytes and returns a child address
+// space allocating inside it. Parallel workers carve their private
+// structures (group tables, scratch vectors) from their own fork, so
+// they never synchronize on the shared space and never alias the
+// regions allocated from it so far; a child allocation overrunning
+// the window panics rather than aliasing its neighbour.
+func (a *AddrSpace) Fork(name string, size uint64) *AddrSpace {
+	r := a.Alloc(name, size)
+	return &AddrSpace{next: r.Base, limit: r.Base + size}
 }
 
 // Regions lists all allocations in order.

@@ -164,5 +164,9 @@ func (p *Probe) SetFootprint(bytes, traversals uint64) {
 	p.Frontend.Traversals = traversals
 }
 
+// AddTraversals records n additional traversals of the configured
+// footprint (a worker executing n more morsel chunks).
+func (p *Probe) AddTraversals(n uint64) { p.Frontend.Traversals += n }
+
 // AddDecodeEvents feeds the decode-inefficiency model.
 func (p *Probe) AddDecodeEvents(n uint64) { p.Frontend.DecodeEvents += n }

@@ -7,6 +7,7 @@ import (
 	"olapmicro/internal/engine"
 	"olapmicro/internal/engine/relop"
 	"olapmicro/internal/hw"
+	"olapmicro/internal/multicore"
 	"olapmicro/internal/tmam"
 )
 
@@ -19,6 +20,12 @@ type Prediction struct {
 	System     string
 	Profile    tmam.Profile
 	Executable bool // the SQL executor runs on the high-performance engines
+	// Inputs is the synthetic counter snapshot behind Profile; the
+	// multi-core model re-accounts it under shared-bandwidth ceilings.
+	Inputs tmam.Inputs
+	// Parallel is the modelled execution at the compilation's thread
+	// count (nil for single-threaded statements).
+	Parallel *multicore.Result
 }
 
 // estimator accumulates synthetic counters for one engine candidate.
@@ -108,11 +115,19 @@ func geom(pl *relop.Pipeline, cols []int, n float64) colGeom {
 // Predict estimates all four profiled engines for a pipeline on a
 // machine, most attractive first only by convention of the caller.
 func Predict(pl *relop.Pipeline, m *hw.Machine) []Prediction {
+	mk := func(system string, in tmam.Inputs, executable bool) Prediction {
+		return Prediction{
+			System:     system,
+			Profile:    tmam.AccountInputs(in, tmam.Params{}),
+			Executable: executable,
+			Inputs:     in,
+		}
+	}
 	return []Prediction{
-		{System: "DBMS R", Profile: predictRowStore(pl, m)},
-		{System: "DBMS C", Profile: predictColStore(pl, m)},
-		{System: "Typer", Profile: predictTyper(pl, m), Executable: true},
-		{System: "Tectorwise", Profile: predictTectorwise(pl, m), Executable: true},
+		mk("DBMS R", predictRowStore(pl, m), false),
+		mk("DBMS C", predictColStore(pl, m), false),
+		mk("Typer", predictTyper(pl, m), true),
+		mk("Tectorwise", predictTectorwise(pl, m), true),
 	}
 }
 
@@ -181,7 +196,7 @@ func groupWork(e *estimator, nf, groups, nAggs, aggAlu, aggMul float64) {
 	e.in.Ops.DepCycles += uint64(nf * (2 + 2*aggMul))
 }
 
-func predictTyper(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+func predictTyper(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 	costs := engine.DefaultTyperCosts()
 	e := newEstimator(m)
 	n, sel, nf, fAlu, fMul, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
@@ -224,10 +239,10 @@ func predictTyper(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
 		e.ops(cpu.OpMul, nf*aggMul)
 		e.in.Ops.DepCycles += uint64(nf * (1 + aggMul/2))
 	}
-	return tmam.AccountInputs(e.in, tmam.Params{})
+	return e.in
 }
 
-func predictTectorwise(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+func predictTectorwise(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 	costs := engine.DefaultTectorwiseCosts()
 	e := newEstimator(m)
 	n, sel, nf, _, _, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
@@ -287,7 +302,7 @@ func predictTectorwise(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
 	} else {
 		e.in.Ops.DepCycles += uint64(nf)
 	}
-	return tmam.AccountInputs(e.in, tmam.Params{})
+	return e.in
 }
 
 // Row widths of the slotted-page heaps DBMS R scans (attribute bytes
@@ -297,7 +312,7 @@ var rowHeapBytes = map[string]float64{
 	"partsupp": 96, "customer": 96, "part": 120, "region": 64,
 }
 
-func predictRowStore(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+func predictRowStore(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 	costs := engine.DefaultRowStoreCosts()
 	e := newEstimator(m)
 	n, _, nf, fAlu, _, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
@@ -326,10 +341,10 @@ func predictRowStore(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
 	if grouped {
 		groupWork(e, nf, groups, nAggs, aggAlu, aggMul)
 	}
-	return tmam.AccountInputs(e.in, tmam.Params{})
+	return e.in
 }
 
-func predictColStore(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
+func predictColStore(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 	costs := engine.DefaultColStoreCosts()
 	e := newEstimator(m)
 	n, _, nf, fAlu, fMul, grouped, groups, nAggs, aggAlu, aggMul := pipeShape(pl)
@@ -359,5 +374,5 @@ func predictColStore(pl *relop.Pipeline, m *hw.Machine) tmam.Profile {
 		e.ops(cpu.OpALU, nf*aggAlu)
 		e.ops(cpu.OpMul, nf*aggMul)
 	}
-	return tmam.AccountInputs(e.in, tmam.Params{})
+	return e.in
 }

@@ -5,11 +5,13 @@ import (
 	"strings"
 
 	"olapmicro/internal/engine"
+	"olapmicro/internal/engine/parallel"
 	"olapmicro/internal/engine/relop"
 	"olapmicro/internal/engine/tectorwise"
 	"olapmicro/internal/engine/typer"
 	"olapmicro/internal/hw"
 	"olapmicro/internal/mem"
+	"olapmicro/internal/multicore"
 	"olapmicro/internal/probe"
 	"olapmicro/internal/tmam"
 	"olapmicro/internal/tpch"
@@ -20,6 +22,11 @@ type Options struct {
 	// Engine forces the execution engine: "typer" or "tectorwise";
 	// "" or "auto" selects by predicted response time.
 	Engine string
+	// Threads > 1 executes the statement with morsel-driven
+	// parallelism on that many workers (Section 10) and routes engine
+	// selection through the modelled parallel times; 0 or 1 runs the
+	// serial executor.
+	Threads int
 }
 
 // Compiled is a parsed, planned and cost-analyzed statement, ready to
@@ -29,6 +36,7 @@ type Compiled struct {
 	Pipeline    *relop.Pipeline
 	Predictions []Prediction
 	Engine      string // chosen execution engine ("Typer"/"Tectorwise")
+	Threads     int    // worker count Execute will use (>= 1)
 
 	data    *tpch.Data
 	machine *hw.Machine
@@ -42,8 +50,47 @@ type Answer struct {
 	Profile   tmam.Profile
 	Predicted tmam.Profile
 	// Inputs is the raw counter snapshot, in the same form the harness
-	// records for hardcoded workloads.
+	// records for hardcoded workloads. Parallel runs report the summed
+	// worker counters (the single-core-equivalent snapshot).
 	Inputs tmam.Inputs
+	// Threads is the worker count that executed the statement.
+	Threads int
+	// Parallel summarizes the morsel-driven run — socket bandwidth,
+	// speedup, per-worker profiles. It is nil on the serial path.
+	Parallel *parallel.Result
+}
+
+// chooseAuto picks the executable engine with the lowest predicted
+// response time — the modelled parallel time when the statement will
+// run multi-threaded. It errors when no prediction is executable
+// rather than letting the caller index Predictions[-1].
+func chooseAuto(preds []Prediction) (string, error) {
+	best := -1
+	for i, p := range preds {
+		if !p.Executable {
+			continue
+		}
+		if best < 0 || p.predictedSeconds() < preds[best].predictedSeconds() {
+			best = i
+		}
+	}
+	if best < 0 {
+		var names []string
+		for _, p := range preds {
+			names = append(names, p.System)
+		}
+		return "", fmt.Errorf("sql: no engine can execute this pipeline (predicted %s are estimate-only); force typer or tectorwise",
+			strings.Join(names, ", "))
+	}
+	return preds[best].System, nil
+}
+
+// predictedSeconds is the time auto-selection ranks by.
+func (p Prediction) predictedSeconds() float64 {
+	if p.Parallel != nil {
+		return p.Parallel.PerThread.Seconds
+	}
+	return p.Profile.Seconds
 }
 
 // Compile parses text, plans it against the database, predicts all
@@ -58,25 +105,30 @@ func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, 
 	if err != nil {
 		return nil, err
 	}
+	// Clamp like the executor does, so predictions, auto-selection and
+	// Explain describe the thread count that will actually run.
+	threads := parallel.ClampThreads(m, opt.Threads)
 	c := &Compiled{
 		Stmt:        stmt,
 		Pipeline:    pl,
 		Predictions: Predict(pl, m),
+		Threads:     threads,
 		data:        d,
 		machine:     m,
 	}
+	if threads > 1 {
+		for i := range c.Predictions {
+			r := multicore.Run(c.Predictions[i].Inputs, threads, multicore.Options{})
+			c.Predictions[i].Parallel = &r
+		}
+	}
 	switch strings.ToLower(opt.Engine) {
 	case "", "auto":
-		best := -1
-		for i, p := range c.Predictions {
-			if !p.Executable {
-				continue
-			}
-			if best < 0 || p.Profile.Seconds < c.Predictions[best].Profile.Seconds {
-				best = i
-			}
+		sys, err := chooseAuto(c.Predictions)
+		if err != nil {
+			return nil, err
 		}
-		c.Engine = c.Predictions[best].System
+		c.Engine = sys
 	case "typer":
 		c.Engine = "Typer"
 	case "tectorwise":
@@ -91,31 +143,55 @@ func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, 
 func (c *Compiled) prediction(system string) tmam.Profile {
 	for _, p := range c.Predictions {
 		if p.System == system {
+			if p.Parallel != nil {
+				return p.Parallel.PerThread
+			}
 			return p.Profile
 		}
 	}
 	return tmam.Profile{}
 }
 
-// Execute runs the pipeline on the chosen engine against a fresh probe
-// and address space, measuring the run like the harness measures the
-// hardcoded workloads.
-func (c *Compiled) Execute() (*Answer, error) {
-	as := probe.NewAddrSpace()
-	p := probe.New(c.machine, mem.AllPrefetchers())
-	var (
-		res engine.Result
-		err error
-	)
+// pipelineEngine is what both executing engines provide: the serial
+// entry point and the parallel prepare hook.
+type pipelineEngine interface {
+	parallel.Executor
+	ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pipeline) (engine.Result, error)
+}
+
+// executor instantiates the chosen engine against a fresh address
+// space.
+func (c *Compiled) executor(as *probe.AddrSpace) (pipelineEngine, error) {
 	switch c.Engine {
 	case "Typer":
-		res, err = typer.New(c.data, as).ExecPipeline(p, as, c.Pipeline)
+		return typer.New(c.data, as), nil
 	case "Tectorwise":
-		e := tectorwise.New(c.data, as, c.machine.L1D.SizeBytes, c.machine.SIMDLanes64)
-		res, err = e.ExecPipeline(p, as, c.Pipeline)
-	default:
-		err = fmt.Errorf("engine %q cannot execute SQL pipelines; force typer or tectorwise", c.Engine)
+		return tectorwise.New(c.data, as, c.machine.L1D.SizeBytes, c.machine.SIMDLanes64), nil
 	}
+	return nil, fmt.Errorf("engine %q cannot execute SQL pipelines; force typer or tectorwise", c.Engine)
+}
+
+// Execute runs the pipeline on the chosen engine at the compilation's
+// thread count, measuring the run like the harness measures the
+// hardcoded workloads.
+func (c *Compiled) Execute() (*Answer, error) {
+	return c.ExecuteThreads(c.Threads)
+}
+
+// ExecuteThreads runs the pipeline with the given worker count
+// (independent of the compilation's Threads, so callers can sweep):
+// 1 runs the serial executor, more the morsel-driven parallel one.
+func (c *Compiled) ExecuteThreads(threads int) (*Answer, error) {
+	if threads > 1 {
+		return c.executeParallel(threads)
+	}
+	as := probe.NewAddrSpace()
+	p := probe.New(c.machine, mem.AllPrefetchers())
+	ex, err := c.executor(as)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.ExecPipeline(p, as, c.Pipeline)
 	if err != nil {
 		return nil, err
 	}
@@ -125,12 +201,43 @@ func (c *Compiled) Execute() (*Answer, error) {
 		Profile:   tmam.Account(p, tmam.Params{}),
 		Predicted: c.prediction(c.Engine),
 		Inputs:    tmam.InputsFrom(p),
+		Threads:   1,
+	}, nil
+}
+
+// executeParallel runs the morsel-driven executor and reports the
+// slowest worker's shared-ceiling profile as the statement's profile.
+func (c *Compiled) executeParallel(threads int) (*Answer, error) {
+	as := probe.NewAddrSpace()
+	ex, err := c.executor(as)
+	if err != nil {
+		return nil, err
+	}
+	r, err := parallel.Run(c.machine, as, ex, c.Pipeline, parallel.Options{Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	prof := r.PerThread
+	prof.Seconds = r.Seconds
+	prof.BandwidthGBs = r.SocketBandwidthGBs
+	prof.Instructions = r.Single.Instructions
+	return &Answer{
+		Engine:    c.Engine,
+		Result:    r.Result,
+		Profile:   prof,
+		Predicted: c.prediction(c.Engine),
+		Inputs:    r.Inputs,
+		Threads:   r.Threads,
+		Parallel:  r,
 	}, nil
 }
 
 // Explain renders the chosen plan and the per-engine cost-model
 // comparison: predicted micro-ops, response time, and the predicted
 // top-down cycle breakdown (the same two levels every figure reports).
+// Multi-threaded compilations append the modelled parallel execution —
+// per-thread time, socket bandwidth and speedup at the configured
+// worker count.
 func (c *Compiled) Explain() string {
 	var b strings.Builder
 	b.WriteString("plan:\n")
@@ -152,6 +259,22 @@ func (c *Compiled) Explain() string {
 		fmt.Fprintf(&b, "  %-12s %10d %12.2f %8.1f | %5.0f %6.0f %6.0f %6.0f %6.0f%s\n",
 			pr.System, pr.Profile.Instructions, pr.Profile.Milliseconds(),
 			100*bd.RetiringRatio(), 100*ex, 100*dc, 100*de, 100*ic, 100*br, mark)
+	}
+	if c.Threads > 1 {
+		fmt.Fprintf(&b, "parallel (modelled, %d threads):\n", c.Threads)
+		fmt.Fprintf(&b, "  %-12s %12s %12s %8s\n", "system", "time(ms)", "socket GB/s", "speedup")
+		for _, pr := range c.Predictions {
+			if pr.Parallel == nil {
+				continue
+			}
+			mark := ""
+			if pr.System == c.Engine {
+				mark = "  <- chosen"
+			}
+			fmt.Fprintf(&b, "  %-12s %12.2f %12.1f %7.1fx%s\n",
+				pr.System, pr.Parallel.PerThread.Milliseconds(),
+				pr.Parallel.SocketBandwidthGBs, pr.Parallel.Speedup, mark)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,132 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"olapmicro/internal/tmam"
+)
+
+// Regression: auto-selection used to index Predictions[best] with
+// best == -1 when no prediction was executable, panicking instead of
+// failing. It must return a descriptive error.
+func TestChooseAutoNoExecutablePrediction(t *testing.T) {
+	preds := []Prediction{
+		{System: "DBMS R"},
+		{System: "DBMS C"},
+	}
+	_, err := chooseAuto(preds)
+	if err == nil {
+		t.Fatal("chooseAuto accepted a prediction set with no executable engine")
+	}
+	for _, want := range []string{"DBMS R", "typer", "tectorwise"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestChooseAutoPicksFastestExecutable(t *testing.T) {
+	mk := func(sys string, seconds float64, exec bool) Prediction {
+		return Prediction{System: sys, Profile: tmam.Profile{Seconds: seconds}, Executable: exec}
+	}
+	sys, err := chooseAuto([]Prediction{
+		mk("DBMS R", 0.001, false), // fastest but estimate-only
+		mk("Typer", 0.010, true),
+		mk("Tectorwise", 0.005, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys != "Tectorwise" {
+		t.Fatalf("chose %q, want the fastest executable engine", sys)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"select count(*) from orders", []string{"select count(*) from orders"}},
+		{"select 1; select 2;", []string{"select 1", "select 2"}},
+		{"  ; ;\n ;", nil},
+		// A ';' inside a string literal must not split the statement.
+		{"select count(*) from part where p_name = 'a;b'; select 1",
+			[]string{"select count(*) from part where p_name = 'a;b'", "select 1"}},
+		// A ';' inside a comment must not split either.
+		{"select 1 -- trailing; comment\n; select 2", []string{"select 1 -- trailing; comment", "select 2"}},
+		// An unterminated literal swallows the tail; the parser will
+		// report the position.
+		{"select 'oops; select 2", []string{"select 'oops; select 2"}},
+		{"\\profile select 1; select 2", []string{"\\profile select 1", "select 2"}},
+	}
+	for _, tc := range cases {
+		got := SplitStatements(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitStatements(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The Threads option must route execution through the morsel-driven
+// executor, keep the answer identical to the serial path, and surface
+// the parallel summary plus modelled parallel predictions.
+func TestRunWithThreads(t *testing.T) {
+	d, m := cv(t)
+	for _, engName := range []string{"typer", "tectorwise"} {
+		_, serial, err := Run(d, m, q1SQL, Options{Engine: engName})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, par, err := Run(d, m, q1SQL, Options{Engine: engName, Threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Result.Equal(serial.Result) {
+			t.Errorf("%s: parallel %v != serial %v", engName, par.Result, serial.Result)
+		}
+		if par.Threads != 4 || par.Parallel == nil {
+			t.Fatalf("%s: parallel run did not report its coordination summary: %+v", engName, par.Threads)
+		}
+		if par.Parallel.Speedup < 2 {
+			t.Errorf("%s: 4-thread speedup %.2f; morsel execution is not parallel", engName, par.Parallel.Speedup)
+		}
+		if par.Profile.Seconds >= serial.Profile.Seconds {
+			t.Errorf("%s: parallel wall %.3fms not faster than serial %.3fms",
+				engName, par.Profile.Milliseconds(), serial.Profile.Milliseconds())
+		}
+		for _, pr := range c.Predictions {
+			if pr.Parallel == nil {
+				t.Errorf("%s: prediction %s lacks the modelled parallel profile", engName, pr.System)
+			}
+		}
+	}
+}
+
+func TestExplainShowsParallelModel(t *testing.T) {
+	d, m := cv(t)
+	c, err := Compile(d, m, "explain "+q6SQL, Options{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Explain()
+	for _, want := range []string{"parallel (modelled, 8 threads)", "socket GB/s", "speedup", "<- chosen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// EXPLAIN at one thread must not grow a parallel section.
+func TestExplainSerialHasNoParallelSection(t *testing.T) {
+	d, m := cv(t)
+	c, err := Compile(d, m, "explain "+q6SQL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c.Explain(), "parallel (modelled") {
+		t.Error("serial EXPLAIN grew a parallel section")
+	}
+}

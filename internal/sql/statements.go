@@ -1,0 +1,40 @@
+package sql
+
+import "strings"
+
+// SplitStatements cuts a script at top-level statement boundaries:
+// the ';' separators that are not inside '...' string literals or
+// "--" line comments, the same rules the lexer applies. Surrounding
+// whitespace is trimmed and empty statements dropped. An unterminated
+// string literal swallows the rest of the text into the final
+// statement, whose parse then reports the real error at its position
+// — splitting never invents a second failure mode.
+func SplitStatements(text string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\'':
+			j := i + 1
+			for j < len(text) && text[j] != '\'' {
+				j++
+			}
+			i = j
+		case '-':
+			if i+1 < len(text) && text[i+1] == '-' {
+				for i < len(text) && text[i] != '\n' {
+					i++
+				}
+			}
+		case ';':
+			if s := strings.TrimSpace(text[start:i]); s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	if s := strings.TrimSpace(text[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -180,6 +180,35 @@ func InputsFrom(p *probe.Probe) Inputs {
 	}
 }
 
+// Add returns the element-wise sum of two counter snapshots — how the
+// parallel executor forms the single-core-equivalent run from its
+// workers' counters. Extensive counters add; intensive quantities
+// (footprint, prefetch distance, MLP boost) take the maximum.
+func (in Inputs) Add(o Inputs) Inputs {
+	out := in
+	if out.Machine == nil {
+		out.Machine = o.Machine
+	}
+	out.Ops.Add(o.Ops)
+	out.Mispredicts += o.Mispredicts
+	out.Frontend.Traversals += o.Frontend.Traversals
+	out.Frontend.DecodeEvents += o.Frontend.DecodeEvents
+	if o.Frontend.FootprintBytes > out.Frontend.FootprintBytes {
+		out.Frontend.FootprintBytes = o.Frontend.FootprintBytes
+	}
+	if out.Frontend.Machine == nil {
+		out.Frontend.Machine = o.Frontend.Machine
+	}
+	out.MemStats.Add(o.MemStats)
+	if o.PfDist > out.PfDist {
+		out.PfDist = o.PfDist
+	}
+	if o.RandMLPBoost > out.RandMLPBoost {
+		out.RandMLPBoost = o.RandMLPBoost
+	}
+	return out
+}
+
 // ScaleCounts divides all extensive counters by n (thread count),
 // leaving intensive quantities (footprint, distances) unchanged.
 func (in Inputs) ScaleCounts(n float64) Inputs {

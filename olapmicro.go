@@ -24,6 +24,11 @@
 //     run ad-hoc plans;
 //   - internal/engine/relop: the engine-neutral physical plan those
 //     operators execute;
+//   - internal/engine/parallel: the morsel-driven multi-core
+//     coordinator — shared hash builds, worker goroutines running
+//     strided shares of cache-friendly scan morsels, thread-local
+//     aggregation merged at the end, profiled under the shared-socket
+//     bandwidth ceiling;
 //   - internal/sql: lexer, recursive-descent parser, binder/planner,
 //     cost-based engine selection with predicted top-down breakdowns,
 //     and the executor dispatch (cmd/olapsql is the interactive
@@ -101,8 +106,9 @@ func Run(id string, quick bool) (string, error) {
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	quick  bool
-	engine string
+	quick   bool
+	engine  string
+	threads int
 }
 
 // QueryQuick runs the query on the miniaturized configuration (the
@@ -112,6 +118,11 @@ func QueryQuick() QueryOption { return func(c *queryConfig) { c.quick = true } }
 // QueryEngine forces the execution engine: "typer", "tectorwise" or
 // "auto" (the default cost-based choice).
 func QueryEngine(name string) QueryOption { return func(c *queryConfig) { c.engine = name } }
+
+// QueryParallel executes the statement with morsel-driven parallelism
+// on threads worker goroutines sharing the socket's memory bandwidth
+// (Section 10); values <= 1 keep the serial executor.
+func QueryParallel(threads int) QueryOption { return func(c *queryConfig) { c.threads = threads } }
 
 // QueryOutput is one answered (or explained) SQL statement.
 type QueryOutput struct {
@@ -131,6 +142,12 @@ type QueryOutput struct {
 	// two-level top-down cycle breakdown.
 	TimeMs    float64
 	Breakdown string
+	// Threads is the executing worker count. Parallel runs (Threads >
+	// 1) additionally report the aggregate DRAM bandwidth and the
+	// speedup over the single-core-equivalent execution.
+	Threads            int
+	SocketBandwidthGBs float64
+	SpeedupX           float64
 }
 
 // Query compiles and runs one ad-hoc SQL statement over the generated
@@ -144,7 +161,7 @@ func Query(text string, opts ...QueryOption) (*QueryOutput, error) {
 		o(&cfg)
 	}
 	h := sharedHarness(cfg.quick)
-	c, a, err := sql.Run(h.Data, h.Cfg.Machine, text, sql.Options{Engine: cfg.engine})
+	c, a, err := sql.Run(h.Data, h.Cfg.Machine, text, sql.Options{Engine: cfg.engine, Threads: cfg.threads})
 	if err != nil {
 		return nil, fmt.Errorf("olapmicro: %w", err)
 	}
@@ -156,6 +173,11 @@ func Query(text string, opts ...QueryOption) (*QueryOutput, error) {
 		out.Check = a.Result.Check
 		out.TimeMs = a.Profile.Milliseconds()
 		out.Breakdown = a.Profile.Breakdown.String()
+		out.Threads = a.Threads
+		if a.Parallel != nil {
+			out.SocketBandwidthGBs = a.Parallel.SocketBandwidthGBs
+			out.SpeedupX = a.Parallel.Speedup
+		}
 	}
 	return out, nil
 }
