@@ -47,6 +47,8 @@ import (
 
 const help = `statements:
   select ...;            execute and print the answer
+                         (joins, group by, having, order by, limit —
+                          TPC-H Q1/Q3/Q6/Q18 shapes all run)
   explain select ...;    show the plan + cost-model engine comparison
 commands:
   \profile select ...;   execute and print measured vs predicted

@@ -208,6 +208,11 @@ func Run(m *hw.Machine, as *probe.AddrSpace, ex Executor, pl *relop.Pipeline, op
 		partials[t] = w.Partial()
 	}
 
+	// The merge plus the post-aggregation operators (HAVING, sort,
+	// top-k) run serially on the coordinator; charge them to the build
+	// probe so they count toward the serial span, not any worker's.
+	merged := relop.FinalizeProbed(buildProbe, pl, partials)
+
 	// Account every worker under the shared-socket ceiling: with T
 	// cores streaming, each one gets at most per-socket/T.
 	params := tmam.Params{
@@ -220,7 +225,7 @@ func Run(m *hw.Machine, as *probe.AddrSpace, ex Executor, pl *relop.Pipeline, op
 	res := &Result{
 		Threads: threads,
 		Morsels: len(morsels),
-		Result:  relop.MergePartials(pl, partials),
+		Result:  merged,
 		Build:   buildProf,
 	}
 	wall := 0.0

@@ -25,7 +25,7 @@ func NewGroupTable(as *probe.AddrSpace, name string, capacity int) *GroupTable {
 func (g *GroupTable) Len() int { return len(g.tuples) }
 
 // Tuples exposes the group key tuples in slot order (slot i holds
-// Tuples()[i]); workers hand them to MergePartials.
+// Tuples()[i]); workers hand them to FinalizeProbed.
 func (g *GroupTable) Tuples() [][]int64 { return g.tuples }
 
 // FindOrInsert resolves a key tuple to its group slot, inserting a new

@@ -3,7 +3,6 @@ package relop
 import (
 	"encoding/binary"
 
-	"olapmicro/internal/engine"
 	"olapmicro/internal/join"
 	"olapmicro/internal/probe"
 )
@@ -84,7 +83,7 @@ func NewAggState(pl *Pipeline, as *probe.AddrSpace, name, aggName string) *AggSt
 	return s
 }
 
-// Partial returns the state in the form MergePartials combines.
+// Partial returns the state in the form FinalizeProbed combines.
 func (s *AggState) Partial() *Partial {
 	if s.Grouped {
 		return &Partial{Tuples: s.Grp.Tuples(), Aggs: s.Acc, Matched: s.Matched}
@@ -93,7 +92,7 @@ func (s *AggState) Partial() *Partial {
 }
 
 // Partial is the thread-local aggregation state one worker produced
-// over its morsels, in a form MergePartials can combine.
+// over its morsels, in a form FinalizeProbed can combine.
 type Partial struct {
 	// Grouped state: group key tuples in insertion order plus the
 	// aggregate values, indexed [agg][group].
@@ -130,54 +129,4 @@ func (a Agg) merge(dst []int64, i int, v int64, first bool) {
 			dst[i] = v
 		}
 	}
-}
-
-// MergePartials combines worker states into the pipeline's result,
-// following the repository convention: Sum is the first aggregate
-// (scalar) or its sum over groups, and grouped queries fold one
-// checksum row per group. Every aggregate merge is associative and
-// the checksum order-insensitive, so the result is identical for any
-// partitioning of the driver — 1 worker or 16.
-func MergePartials(pl *Pipeline, parts []*Partial) engine.Result {
-	var res engine.Result
-	if len(pl.GroupBy) == 0 {
-		out := make([]int64, len(pl.Aggs))
-		first := true
-		for _, pt := range parts {
-			if pt == nil || pt.Matched == 0 {
-				continue
-			}
-			for ai, a := range pl.Aggs {
-				a.merge(out, ai, pt.Scalar[ai], first)
-			}
-			first = false
-		}
-		res.Sum = out[0]
-		res.Rows = 1
-		return res
-	}
-	idx := map[string]int{}
-	var vals [][]int64
-	for _, pt := range parts {
-		if pt == nil {
-			continue
-		}
-		for s := range pt.Tuples {
-			k := tupleKey(pt.Tuples[s])
-			g, ok := idx[k]
-			if !ok {
-				g = len(vals)
-				idx[k] = g
-				vals = append(vals, make([]int64, len(pl.Aggs)))
-			}
-			for ai, a := range pl.Aggs {
-				a.merge(vals[g], ai, pt.Aggs[ai][s], !ok)
-			}
-		}
-	}
-	for _, v := range vals {
-		res.Sum += v[0]
-		res.AddRow(v...)
-	}
-	return res
 }

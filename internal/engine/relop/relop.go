@@ -349,6 +349,54 @@ type Agg struct {
 	Arg  *Expr
 }
 
+// OutCol identifies one column of the aggregation output: a group key
+// (Key true, Idx into GroupBy) or an aggregate (Idx into Aggs). The
+// post-aggregation operators — HAVING and ORDER BY/LIMIT — address the
+// output through it.
+type OutCol struct {
+	Key bool
+	Idx int
+}
+
+// OutScalar is one side of a post-aggregation comparison: an integer
+// constant or an output column.
+type OutScalar struct {
+	Const bool
+	Val   int64
+	Col   OutCol
+}
+
+// OutPred is one HAVING conjunct: L Cmp R over the aggregation output,
+// evaluated once per group after the scan.
+type OutPred struct {
+	Cmp  CmpOp
+	L, R OutScalar
+}
+
+// OrderKey is one ORDER BY key over the aggregation output.
+type OrderKey struct {
+	Col  OutCol
+	Desc bool
+}
+
+// cmpVals applies a CmpOp to two int64 values.
+func cmpVals(op CmpOp, l, r int64) bool {
+	switch op {
+	case Lt:
+		return l < r
+	case Le:
+		return l <= r
+	case Gt:
+		return l > r
+	case Ge:
+		return l >= r
+	case Eq:
+		return l == r
+	default:
+		return l != r
+	}
+}
+
 // Join is one equi-hash-join: build a table keyed by BuildKey
 // (optionally pre-filtered), probe with ProbeKey evaluated over the
 // tables already in the pipeline.
@@ -377,7 +425,32 @@ type Pipeline struct {
 	// the aggregation hash table the way real group-by operators size
 	// theirs from cardinality estimates. 0 defaults to half the driver.
 	EstGroups int
+	// Having filters groups after aggregation (conjuncts, may be empty).
+	// It may reference hidden aggregates past OutAggs.
+	Having []OutPred
+	// OrderBy orders the final rows; ties (and a LIMIT without ORDER BY)
+	// fall back to the full group-key tuple, so the output order is a
+	// total order — identical on every engine and thread count.
+	OrderBy []OrderKey
+	// Limit caps the ordered output row count; 0 means no limit.
+	Limit int
+	// OutAggs is the number of select-list aggregates folded into the
+	// result rows; aggregates past it exist only for HAVING/ORDER BY.
+	// 0 means every aggregate is an output.
+	OutAggs int
 }
+
+// outAggs resolves the OutAggs default.
+func (pl *Pipeline) outAggs() int {
+	if pl.OutAggs <= 0 || pl.OutAggs > len(pl.Aggs) {
+		return len(pl.Aggs)
+	}
+	return pl.OutAggs
+}
+
+// Ordered reports whether the pipeline's output order is pinned (an
+// ORDER BY, or a LIMIT whose deterministic cut requires sorting).
+func (pl *Pipeline) Ordered() bool { return len(pl.OrderBy) > 0 || pl.Limit > 0 }
 
 // Validate performs structural checks shared by both executors.
 func (pl *Pipeline) Validate() error {
@@ -396,6 +469,39 @@ func (pl *Pipeline) Validate() error {
 			return fmt.Errorf("relop: join build table %d invalid or repeated", j.Build)
 		}
 		seen[j.Build] = true
+	}
+	if pl.Limit < 0 {
+		return fmt.Errorf("relop: negative limit %d", pl.Limit)
+	}
+	if pl.OutAggs < 0 || pl.OutAggs > len(pl.Aggs) {
+		return fmt.Errorf("relop: OutAggs %d out of range for %d aggregates", pl.OutAggs, len(pl.Aggs))
+	}
+	checkOut := func(what string, c OutCol) error {
+		if c.Key {
+			if c.Idx < 0 || c.Idx >= len(pl.GroupBy) {
+				return fmt.Errorf("relop: %s references group key %d of %d", what, c.Idx, len(pl.GroupBy))
+			}
+			return nil
+		}
+		if c.Idx < 0 || c.Idx >= len(pl.Aggs) {
+			return fmt.Errorf("relop: %s references aggregate %d of %d", what, c.Idx, len(pl.Aggs))
+		}
+		return nil
+	}
+	for _, h := range pl.Having {
+		for _, s := range []OutScalar{h.L, h.R} {
+			if s.Const {
+				continue
+			}
+			if err := checkOut("having", s.Col); err != nil {
+				return err
+			}
+		}
+	}
+	for _, o := range pl.OrderBy {
+		if err := checkOut("order by", o.Col); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -476,6 +582,43 @@ func (pl *Pipeline) String() string {
 			aggs = append(aggs, fmt.Sprintf("%s(%s)", a.Kind, pl.ExprString(a.Arg)))
 		}
 	}
+	rows := pl.EstGroups
+	if len(pl.GroupBy) == 0 {
+		rows = 1
+	}
+	if pl.Limit > 0 {
+		line("limit %d", pl.Limit)
+		indent++
+	}
+	if len(pl.OrderBy) > 0 {
+		var keys []string
+		for _, o := range pl.OrderBy {
+			dir := "asc"
+			if o.Desc {
+				dir = "desc"
+			}
+			keys = append(keys, pl.OutColString(o.Col)+" "+dir)
+		}
+		op := "sort"
+		est := fmt.Sprintf("est %d rows, ~%d cmps", rows, sortCmps(rows, 0))
+		if pl.Limit > 0 {
+			op = "top-k"
+			est = fmt.Sprintf("k=%d of est %d rows, ~%d cmps", pl.Limit, rows, sortCmps(rows, pl.Limit))
+		}
+		line("%s [%s] (%s)", op, strings.Join(keys, ", "), est)
+		indent++
+	} else if pl.Limit > 0 {
+		line("sort [group key] (deterministic cut, est %d rows)", rows)
+		indent++
+	}
+	if len(pl.Having) > 0 {
+		var hs []string
+		for _, h := range pl.Having {
+			hs = append(hs, pl.OutPredString(h))
+		}
+		line("having [%s]", strings.Join(hs, " and "))
+		indent++
+	}
 	if len(pl.GroupBy) > 0 {
 		var keys []string
 		for _, g := range pl.GroupBy {
@@ -527,6 +670,30 @@ func (pl *Pipeline) PredString(p *Pred) string {
 			pl.ExprString(p.A), pl.ExprString(p.B), pl.ExprString(p.C))
 	}
 	return fmt.Sprintf("%s %s %s", pl.ExprString(p.A), p.Cmp, pl.ExprString(p.B))
+}
+
+// OutColString renders an output-column reference with names resolved:
+// the group-by expression, or the aggregate call.
+func (pl *Pipeline) OutColString(c OutCol) string {
+	if c.Key {
+		return pl.ExprString(pl.GroupBy[c.Idx])
+	}
+	a := pl.Aggs[c.Idx]
+	if a.Arg == nil {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, pl.ExprString(a.Arg))
+}
+
+// OutPredString renders one HAVING conjunct.
+func (pl *Pipeline) OutPredString(h OutPred) string {
+	s := func(o OutScalar) string {
+		if o.Const {
+			return fmt.Sprintf("%d", o.Val)
+		}
+		return pl.OutColString(o.Col)
+	}
+	return fmt.Sprintf("%s %s %s", s(h.L), h.Cmp, s(h.R))
 }
 
 // Resolve binds a pipeline against an engine's column maps (built from

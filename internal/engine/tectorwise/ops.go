@@ -457,5 +457,5 @@ func (e *Engine) ExecPipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.Pip
 	}
 	w := pr.NewWorker(p, as)
 	w.RunMorsel(0, pr.Rows())
-	return relop.MergePartials(pl, []*relop.Partial{w.Partial()}), nil
+	return relop.FinalizeProbed(p, pl, []*relop.Partial{w.Partial()}), nil
 }

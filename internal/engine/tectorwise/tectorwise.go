@@ -39,6 +39,11 @@ const (
 	siteQ9Ord
 	siteQ18Having
 	siteGroupBy
+	siteQ3Ship
+	siteQ3Ord
+	siteQ3Seg
+	siteQ3Probe
+	siteQ18TopHaving
 )
 
 // Engine is a Tectorwise instance bound to one database image.
@@ -62,7 +67,13 @@ type Engine struct {
 		shipDate, commitDate, receiptDate      storage.ColI64
 		returnFlag, lineStatus                 storage.ColI8
 	}
-	ord  struct{ orderKey, custKey, orderDate, totalPrice storage.ColI64 }
+	ord struct {
+		orderKey, custKey, orderDate, totalPrice, shipPriority storage.ColI64
+	}
+	cust struct {
+		custKey    storage.ColI64
+		mktSegment storage.ColI8
+	}
 	supp struct{ suppKey, nationKey, acctBal storage.ColI64 }
 	nat  struct{ nationKey storage.ColI64 }
 	ps   struct{ partKey, suppKey, availQty, supplyCost storage.ColI64 }
@@ -114,6 +125,9 @@ func New(d *tpch.Data, as *probe.AddrSpace, l1dBytes int64, lanes int, opts ...O
 	e.ord.custKey = e.i64["o_custkey"]
 	e.ord.orderDate = e.i64["o_orderdate"]
 	e.ord.totalPrice = e.i64["o_totalprice"]
+	e.ord.shipPriority = e.i64["o_shippriority"]
+	e.cust.custKey = e.i64["c_custkey"]
+	e.cust.mktSegment = e.i8["c_mktsegment"]
 	e.supp.suppKey = e.i64["s_suppkey"]
 	e.supp.nationKey = e.i64["s_nationkey"]
 	e.supp.acctBal = e.i64["s_acctbal"]

@@ -1,6 +1,7 @@
 package tectorwise
 
 import (
+	"sort"
 	"strings"
 
 	"olapmicro/internal/engine"
@@ -8,6 +9,67 @@ import (
 	"olapmicro/internal/probe"
 	"olapmicro/internal/tpch"
 )
+
+// topRow is one ordered-output candidate of Q3/Q18Top: the group-key
+// tuple plus the aggregate value.
+type topRow struct {
+	tuple []int64
+	agg   int64
+}
+
+// sortTopRows orders rows by less with the repository's deterministic
+// tie-break (full tuple ascending, then the aggregate), truncates to
+// limit, and folds them with the ordered-output convention: rank plus
+// aggregate per checksum row, Sum over the emitted rows. The sort's
+// comparison tree (half mispredicted, as comparison sorting over
+// unsorted data behaves) is charged to p.
+func sortTopRows(p *probe.Probe, rows []topRow, limit int, keys int, less func(a, b *topRow) bool) engine.Result {
+	tieLess := func(a, b *topRow) bool {
+		for i := range a.tuple {
+			if a.tuple[i] != b.tuple[i] {
+				return a.tuple[i] < b.tuple[i]
+			}
+		}
+		return a.agg < b.agg
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if less(&rows[i], &rows[j]) {
+			return true
+		}
+		if less(&rows[j], &rows[i]) {
+			return false
+		}
+		return tieLess(&rows[i], &rows[j])
+	})
+	n := uint64(len(rows))
+	if n > 1 {
+		cmps := n * uint64(log2ceil(n)+1)
+		p.ALU(cmps * uint64(keys+1))
+		p.BranchStatic(cmps, cmps/2)
+		p.Dep(cmps / 2)
+	}
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	var res engine.Result
+	out := make([]int64, 2)
+	for rank := range rows {
+		res.Sum += rows[rank].agg
+		out[0] = int64(rank)
+		out[1] = rows[rank].agg
+		res.AddRow(out...)
+	}
+	return res
+}
+
+// log2ceil is ceil(log2(n)) for n >= 1.
+func log2ceil(n uint64) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
 
 // Q1 is TPC-H Q1 vectorized: a selection primitive on shipdate, then
 // per-chunk hash-group primitives against the four-group aggregate
@@ -328,6 +390,222 @@ func (e *Engine) buildCompositePS(p *probe.Probe, as *probe.AddrSpace) *join.Tab
 		e.primOverhead(p, cn)
 	}
 	return ht
+}
+
+// Q3 is TPC-H Q3 vectorized: chunked filtered build scans over orders
+// (date) and customer (BUILDING segment), a selection primitive on
+// lineitem's shipdate, probe primitives through both hash tables, a
+// per-order revenue aggregation and the ordered top-10 emission.
+func (e *Engine) Q3(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	l := &d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*3, uint64(n/e.vec+1))
+	cutoff := tpch.DateQ3Cutoff
+
+	// Build: pre-cutoff orders keyed by orderkey, chunk at a time.
+	nO := len(d.Orders.OrderKey)
+	ordHT := join.New(as, "tw.q3.ord", nO)
+	ordRow := make([]int32, 0, nO)
+	for start := 0; start < nO; start += e.vec {
+		end := start + e.vec
+		if end > nO {
+			end = nO
+		}
+		cn := uint64(end - start)
+		e.vecLoad(p, e.ord.orderKey.Addr(start), cn)
+		e.vecLoad(p, e.ord.orderDate.Addr(start), cn)
+		e.mulArith(p, cn*2) // hash primitive
+		e.arith(p, cn)
+		for i := start; i < end; i++ {
+			pass := d.Orders.OrderDate[i] < cutoff
+			p.BranchOp(siteQ3Ord, pass)
+			if !pass {
+				continue
+			}
+			ordHT.InsertProbed(p, d.Orders.OrderKey[i])
+			ordRow = append(ordRow, int32(i))
+		}
+		e.primOverhead(p, cn)
+	}
+
+	// Build: BUILDING customers keyed by custkey.
+	nC := len(d.Customer.CustKey)
+	custHT := join.New(as, "tw.q3.cust", nC/4+8)
+	for start := 0; start < nC; start += e.vec {
+		end := start + e.vec
+		if end > nC {
+			end = nC
+		}
+		cn := uint64(end - start)
+		e.vecLoad(p, e.cust.custKey.Addr(start), cn)
+		p.SeqLoad(e.cust.mktSegment.Addr(start), cn, 1)
+		e.mulArith(p, cn*2)
+		e.arith(p, cn)
+		for i := start; i < end; i++ {
+			pass := d.Customer.MktSegment[i] == tpch.MktSegBuilding
+			p.BranchOp(siteQ3Seg, pass)
+			if !pass {
+				continue
+			}
+			custHT.InsertProbed(p, d.Customer.CustKey[i])
+		}
+		e.primOverhead(p, cn)
+	}
+
+	// Probe pass over lineitem: selection primitive on shipdate (~54 %
+	// pass, the predictor's worst regime), probe primitives through the
+	// two tables, revenue aggregation per surviving order.
+	grpHT := join.New(as, "tw.q3.grp", len(ordRow)+8)
+	aggR := as.Alloc("tw.q3.agg", uint64(len(ordRow)+8)*8)
+	revs := make([]int64, 0, len(ordRow))
+	dates := make([]int64, 0, len(ordRow))
+	prios := make([]int64, 0, len(ordRow))
+
+	sel := make([]int32, e.vec)
+	for start := 0; start < n; start += e.vec {
+		end := start + e.vec
+		if end > n {
+			end = n
+		}
+		cn := uint64(end - start)
+		e.vecLoad(p, e.li.shipDate.Addr(start), cn)
+		k := 0
+		for i := start; i < end; i++ {
+			pass := l.ShipDate[i] > cutoff
+			p.BranchOp(siteQ3Ship, pass)
+			if pass {
+				sel[k] = int32(i)
+				k++
+			}
+		}
+		e.arith(p, cn)
+		e.vecStore(p, e.selR[0].Base, uint64(k)/2+1)
+		e.primOverhead(p, cn)
+
+		// Probe primitive: orderkey streams (the filter passes most of
+		// the chunk), each survivor walks the orders table.
+		uk := uint64(k)
+		e.vecLoad(p, e.li.orderKey.Addr(start), cn)
+		e.mulArith(p, uk*2)
+		for pos := 0; pos < k; pos++ {
+			i := int(sel[pos])
+			oSlot := ordHT.LookupProbed(p, siteQ3Probe, l.OrderKey[i])
+			if oSlot < 0 {
+				continue
+			}
+			oi := int(ordRow[oSlot])
+			p.Load(e.ord.custKey.Addr(oi), 8)
+			if custHT.LookupProbed(p, siteQ3Probe+2, d.Orders.CustKey[oi]) < 0 {
+				continue
+			}
+			e.gather(p, e.li.extendedPrice.Addr(i))
+			e.gather(p, e.li.discount.Addr(i))
+			revenue := l.ExtendedPrice[i] * (100 - l.Discount[i]) / 100
+			slot, inserted := grpHT.LookupOrInsertProbed(p, siteQ3Probe+3, l.OrderKey[i])
+			if inserted {
+				revs = append(revs, 0)
+				p.Load(e.ord.orderDate.Addr(oi), 8)
+				p.Load(e.ord.shipPriority.Addr(oi), 8)
+				dates = append(dates, d.Orders.OrderDate[oi])
+				prios = append(prios, d.Orders.ShipPriority[oi])
+			}
+			revs[slot] += revenue
+			p.Load(aggR.Base+uint64(slot)*8, 8)
+			p.Store(aggR.Base+uint64(slot)*8, 8)
+		}
+		e.gatherOps(p, uk)
+		e.mulArith(p, uk*2)
+		e.arith(p, uk*2)
+		e.vecStore(p, e.selR[1].Base, uk/2+1)
+		e.primOverhead(p, uk)
+	}
+
+	// Top 10 by revenue desc, orderdate asc.
+	keys := grpHT.Keys()
+	rows := make([]topRow, len(revs))
+	for s := range revs {
+		rows[s] = topRow{tuple: []int64{keys[s], dates[s], prios[s]}, agg: revs[s]}
+	}
+	return sortTopRows(p, rows, 10, 2, func(a, b *topRow) bool {
+		if a.agg != b.agg {
+			return a.agg > b.agg
+		}
+		return a.tuple[1] < b.tuple[1]
+	})
+}
+
+// Q18Top is the full TPC-H Q18 vectorized, ordered output included:
+// Q18's chunked high-cardinality aggregation and HAVING filter, the
+// orders and customer joins over the rare survivors, then the 100
+// largest orders by totalprice (date ascending on ties) in order.
+func (e *Engine) Q18Top(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	l := &d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*2, uint64(n/e.vec+1))
+
+	nO := len(d.Orders.OrderKey)
+	grpHT := join.New(as, "tw.q18t.grp", nO)
+	aggR := as.Alloc("tw.q18t.agg", uint64(nO)*8)
+	qty := make([]int64, 0, nO)
+
+	for start := 0; start < n; start += e.vec {
+		end := start + e.vec
+		if end > n {
+			end = n
+		}
+		cn := uint64(end - start)
+		e.vecLoad(p, e.li.orderKey.Addr(start), cn)
+		e.vecLoad(p, e.li.quantity.Addr(start), cn)
+		e.mulArith(p, cn*2)
+		for i := start; i < end; i++ {
+			slot, inserted := grpHT.LookupOrInsertProbed(p, siteQ18TopHaving, l.OrderKey[i])
+			if inserted {
+				qty = append(qty, 0)
+			}
+			qty[slot] += l.Quantity[i]
+			p.Load(aggR.Base+uint64(slot)*8, 8)
+			p.Store(aggR.Base+uint64(slot)*8, 8)
+		}
+		e.arith(p, cn)
+		e.primOverhead(p, cn)
+	}
+
+	ordHT := e.buildProbed(p, as, "tw.q18t.ord", e.ord.orderKey, d.Orders.OrderKey)
+	custHT := e.buildProbed(p, as, "tw.q18t.cust", e.cust.custKey, d.Customer.CustKey)
+	keys := grpHT.Keys()
+	var rows []topRow
+	for s := range qty {
+		p.Load(aggR.Base+uint64(s)*8, 8)
+		pass := qty[s] > 300
+		p.BranchOp(siteQ18TopHaving+1, pass)
+		if !pass {
+			continue
+		}
+		oSlot := ordHT.LookupProbed(p, siteQ18TopHaving+2, keys[s])
+		if oSlot < 0 {
+			continue
+		}
+		p.Load(e.ord.custKey.Addr(int(oSlot)), 8)
+		if custHT.LookupProbed(p, siteQ18TopHaving+3, d.Orders.CustKey[oSlot]) < 0 {
+			continue
+		}
+		p.Load(e.ord.orderDate.Addr(int(oSlot)), 8)
+		p.Load(e.ord.totalPrice.Addr(int(oSlot)), 8)
+		rows = append(rows, topRow{
+			tuple: []int64{d.Orders.CustKey[oSlot], keys[s], d.Orders.OrderDate[oSlot], d.Orders.TotalPrice[oSlot]},
+			agg:   qty[s],
+		})
+	}
+	e.arith(p, uint64(len(qty)))
+	// Top 100 by totalprice desc, orderdate asc.
+	return sortTopRows(p, rows, 100, 2, func(a, b *topRow) bool {
+		if a.tuple[3] != b.tuple[3] {
+			return a.tuple[3] > b.tuple[3]
+		}
+		return a.tuple[2] < b.tuple[2]
+	})
 }
 
 // Q18 is TPC-H Q18 vectorized: chunked hash aggregation of lineitem by

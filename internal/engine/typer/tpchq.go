@@ -1,6 +1,7 @@
 package typer
 
 import (
+	"sort"
 	"strings"
 
 	"olapmicro/internal/engine"
@@ -8,6 +9,68 @@ import (
 	"olapmicro/internal/probe"
 	"olapmicro/internal/tpch"
 )
+
+// topRow is one ordered-output candidate of Q3/Q18: the group-key
+// tuple plus the aggregate value, sorted by the query's keys with the
+// repository's deterministic tie-break (full tuple ascending).
+type topRow struct {
+	tuple []int64
+	agg   int64
+}
+
+// sortTopRows orders rows by less (a total order once the tuple
+// tie-break is appended), truncates to limit, and folds them into a
+// Result with the ordered-output convention: each checksum row carries
+// its rank, Sum accumulates the aggregate over the emitted rows. The
+// comparison tree and the ~50 % mispredicts of sorting unsorted data
+// are charged to p.
+func sortTopRows(p *probe.Probe, rows []topRow, limit int, keys int, less func(a, b *topRow) bool) engine.Result {
+	tieLess := func(a, b *topRow) bool {
+		for i := range a.tuple {
+			if a.tuple[i] != b.tuple[i] {
+				return a.tuple[i] < b.tuple[i]
+			}
+		}
+		return a.agg < b.agg
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if less(&rows[i], &rows[j]) {
+			return true
+		}
+		if less(&rows[j], &rows[i]) {
+			return false
+		}
+		return tieLess(&rows[i], &rows[j])
+	})
+	n := uint64(len(rows))
+	if n > 1 {
+		cmps := n * uint64(log2ceil(n)+1)
+		p.ALU(cmps * uint64(keys+1))
+		p.BranchStatic(cmps, cmps/2)
+		p.Dep(cmps / 2)
+	}
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	var res engine.Result
+	out := make([]int64, 2)
+	for rank := range rows {
+		res.Sum += rows[rank].agg
+		out[0] = int64(rank)
+		out[1] = rows[rank].agg
+		res.AddRow(out...)
+	}
+	return res
+}
+
+// log2ceil is ceil(log2(n)) for n >= 1.
+func log2ceil(n uint64) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
 
 // Q1 is TPC-H Q1: the low-cardinality group-by (4 groups). One fused
 // pass over lineitem filters on shipdate and updates a register-file
@@ -264,6 +327,191 @@ func (e *Engine) Q9(p *probe.Probe, as *probe.AddrSpace) engine.Result {
 	}
 	res.Rows = int64(len(aggs))
 	return res
+}
+
+// Q3 is TPC-H Q3: the shipping-priority query. Orders (filtered to
+// pre-cutoff dates) and BUILDING customers become hash builds, a fused
+// probe pass over post-cutoff lineitem accumulates revenue per order,
+// and the top 10 orders by revenue are emitted in order — the
+// multi-join + ordered-output shape the SQL path plans for itself.
+func (e *Engine) Q3(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	p.SetFootprint(e.costs.Footprint*4, 1)
+	cutoff := tpch.DateQ3Cutoff
+
+	// Build: orders placed before the cutoff, keyed by orderkey.
+	nO := len(d.Orders.OrderKey)
+	ordHT := join.New(as, "ty.q3.ord", nO)
+	ordRow := make([]int32, 0, nO)
+	p.SeqLoad(e.ord.orderKey.R.Base, uint64(nO)*8, 8)
+	p.SeqLoad(e.ord.orderDate.R.Base, uint64(nO)*8, 8)
+	for i := 0; i < nO; i++ {
+		p.ALU(1)
+		pass := d.Orders.OrderDate[i] < cutoff
+		p.BranchOp(siteQ3Ord, pass)
+		if !pass {
+			continue
+		}
+		ordHT.InsertProbed(p, d.Orders.OrderKey[i])
+		ordRow = append(ordRow, int32(i))
+	}
+	e.loopTail(p, uint64(nO))
+
+	// Build: customers in the BUILDING segment, keyed by custkey.
+	nC := len(d.Customer.CustKey)
+	custHT := join.New(as, "ty.q3.cust", nC/4+8)
+	p.SeqLoad(e.cust.custKey.R.Base, uint64(nC)*8, 8)
+	p.SeqLoad(e.cust.mktSegment.R.Base, uint64(nC), 1)
+	for i := 0; i < nC; i++ {
+		p.ALU(1)
+		pass := d.Customer.MktSegment[i] == tpch.MktSegBuilding
+		p.BranchOp(siteQ3Seg, pass)
+		if !pass {
+			continue
+		}
+		custHT.InsertProbed(p, d.Customer.CustKey[i])
+	}
+	e.loopTail(p, uint64(nC))
+
+	// Probe pass over lineitem shipped after the cutoff, grouping
+	// revenue by orderkey (one group per surviving order).
+	grpHT := join.New(as, "ty.q3.grp", len(ordRow)+8)
+	aggR := as.Alloc("ty.q3.agg", uint64(len(ordRow)+8)*8)
+	revs := make([]int64, 0, len(ordRow))
+	dates := make([]int64, 0, len(ordRow))
+	prios := make([]int64, 0, len(ordRow))
+
+	l := &d.Lineitem
+	n := l.Rows()
+	un := uint64(n)
+	p.SeqLoad(e.li.shipDate.R.Base, un*8, 8)
+	p.SeqLoad(e.li.orderKey.R.Base, un*8, 8)
+	for i := 0; i < n; i++ {
+		p.ALU(1)
+		pass := l.ShipDate[i] > cutoff
+		p.BranchOp(siteQ3Ship, pass)
+		if !pass {
+			continue
+		}
+		oSlot := ordHT.LookupProbed(p, siteQ3Probe, l.OrderKey[i])
+		if oSlot < 0 {
+			continue
+		}
+		oi := int(ordRow[oSlot])
+		p.Load(e.ord.custKey.Addr(oi), 8)
+		if custHT.LookupProbed(p, siteQ3Probe+2, d.Orders.CustKey[oi]) < 0 {
+			continue
+		}
+		p.SparseLoad(e.li.extendedPrice.Addr(i), 8)
+		p.SparseLoad(e.li.discount.Addr(i), 8)
+		revenue := l.ExtendedPrice[i] * (100 - l.Discount[i]) / 100
+		slot, inserted := grpHT.LookupOrInsertProbed(p, siteQ3Probe+3, l.OrderKey[i])
+		if inserted {
+			revs = append(revs, 0)
+			p.Load(e.ord.orderDate.Addr(oi), 8)
+			p.Load(e.ord.shipPriority.Addr(oi), 8)
+			dates = append(dates, d.Orders.OrderDate[oi])
+			prios = append(prios, d.Orders.ShipPriority[oi])
+		}
+		revs[slot] += revenue
+		p.Load(aggR.Base+uint64(slot)*8, 8)
+		p.Store(aggR.Base+uint64(slot)*8, 8)
+		p.Mul(2)
+		p.ALU(4)
+		p.Dep(3)
+	}
+	e.loopTail(p, un)
+
+	// Top 10 by revenue desc, orderdate asc.
+	keys := grpHT.Keys()
+	rows := make([]topRow, len(revs))
+	for s := range revs {
+		rows[s] = topRow{tuple: []int64{keys[s], dates[s], prios[s]}, agg: revs[s]}
+	}
+	return sortTopRows(p, rows, 10, 2, func(a, b *topRow) bool {
+		if a.agg != b.agg {
+			return a.agg > b.agg
+		}
+		return a.tuple[1] < b.tuple[1]
+	})
+}
+
+// Q18Top is the full TPC-H Q18 with its ordered, limited output: the
+// high-cardinality group-by of Q18, the HAVING filter, the
+// orders/customer join — then the 100 largest orders by totalprice
+// (date ascending on ties), emitted in order.
+func (e *Engine) Q18Top(p *probe.Probe, as *probe.AddrSpace) engine.Result {
+	d := e.d
+	l := &d.Lineitem
+	n := l.Rows()
+	p.SetFootprint(e.costs.Footprint*3, 1)
+
+	// Phase 1: group lineitem by orderkey; the table exceeds the LLC.
+	nO := len(d.Orders.OrderKey)
+	grpHT := join.New(as, "ty.q18t.grp", nO)
+	aggR := as.Alloc("ty.q18t.agg", uint64(nO)*8)
+	qty := make([]int64, 0, nO)
+
+	un := uint64(n)
+	p.SeqLoad(e.li.orderKey.R.Base, un*8, 8)
+	p.SeqLoad(e.li.quantity.R.Base, un*8, 8)
+	for i := 0; i < n; i++ {
+		slot, inserted := grpHT.LookupOrInsertProbed(p, siteQ18TopHaving, l.OrderKey[i])
+		if inserted {
+			qty = append(qty, 0)
+		}
+		qty[slot] += l.Quantity[i]
+		p.Load(aggR.Base+uint64(slot)*8, 8)
+		p.Store(aggR.Base+uint64(slot)*8, 8)
+		p.ALU(2)
+	}
+	e.loopTail(p, un)
+
+	// Phase 2: HAVING sum(quantity) > 300, join orders, project the
+	// customer and order attributes of the survivors.
+	ordHT := join.New(as, "ty.q18t.ord", nO)
+	p.SeqLoad(e.ord.orderKey.R.Base, uint64(nO)*8, 8)
+	for i := 0; i < nO; i++ {
+		ordHT.InsertProbed(p, d.Orders.OrderKey[i])
+	}
+	nC := len(d.Customer.CustKey)
+	custHT := join.New(as, "ty.q18t.cust", nC)
+	p.SeqLoad(e.cust.custKey.R.Base, uint64(nC)*8, 8)
+	for i := 0; i < nC; i++ {
+		custHT.InsertProbed(p, d.Customer.CustKey[i])
+	}
+	keys := grpHT.Keys()
+	var rows []topRow
+	for s := range qty {
+		p.Load(aggR.Base+uint64(s)*8, 8)
+		p.ALU(1)
+		pass := qty[s] > 300
+		p.BranchOp(siteQ18TopHaving+1, pass)
+		if !pass {
+			continue
+		}
+		oSlot := ordHT.LookupProbed(p, siteQ18TopHaving+2, keys[s])
+		if oSlot < 0 {
+			continue
+		}
+		p.Load(e.ord.custKey.Addr(int(oSlot)), 8)
+		if custHT.LookupProbed(p, siteQ18TopHaving+3, d.Orders.CustKey[oSlot]) < 0 {
+			continue
+		}
+		p.Load(e.ord.orderDate.Addr(int(oSlot)), 8)
+		p.Load(e.ord.totalPrice.Addr(int(oSlot)), 8)
+		rows = append(rows, topRow{
+			tuple: []int64{d.Orders.CustKey[oSlot], keys[s], d.Orders.OrderDate[oSlot], d.Orders.TotalPrice[oSlot]},
+			agg:   qty[s],
+		})
+	}
+	// Top 100 by totalprice desc, orderdate asc.
+	return sortTopRows(p, rows, 100, 2, func(a, b *topRow) bool {
+		if a.tuple[3] != b.tuple[3] {
+			return a.tuple[3] > b.tuple[3]
+		}
+		return a.tuple[2] < b.tuple[2]
+	})
 }
 
 // Q18 is TPC-H Q18: the high-cardinality group-by. Lineitem is

@@ -34,6 +34,11 @@ const (
 	siteQ9Ord
 	siteQ18Having
 	siteGroupBy
+	siteQ3Ship
+	siteQ3Ord
+	siteQ3Seg
+	siteQ3Probe
+	siteQ18TopHaving
 )
 
 // Engine is a Typer instance bound to one database image.
@@ -55,7 +60,7 @@ type Engine struct {
 		returnFlag, lineStatus                 storage.ColI8
 	}
 	ord struct {
-		orderKey, custKey, orderDate, totalPrice storage.ColI64
+		orderKey, custKey, orderDate, totalPrice, shipPriority storage.ColI64
 	}
 	supp struct {
 		suppKey, nationKey, acctBal storage.ColI64
@@ -71,7 +76,8 @@ type Engine struct {
 		name    storage.ColStr
 	}
 	cust struct {
-		custKey storage.ColI64
+		custKey    storage.ColI64
+		mktSegment storage.ColI8
 	}
 }
 
@@ -96,6 +102,7 @@ func New(d *tpch.Data, as *probe.AddrSpace) *Engine {
 	e.ord.custKey = e.i64["o_custkey"]
 	e.ord.orderDate = e.i64["o_orderdate"]
 	e.ord.totalPrice = e.i64["o_totalprice"]
+	e.ord.shipPriority = e.i64["o_shippriority"]
 	e.supp.suppKey = e.i64["s_suppkey"]
 	e.supp.nationKey = e.i64["s_nationkey"]
 	e.supp.acctBal = e.i64["s_acctbal"]
@@ -108,6 +115,7 @@ func New(d *tpch.Data, as *probe.AddrSpace) *Engine {
 	e.part.partKey = e.i64["p_partkey"]
 	e.part.name = e.str["p_name"]
 	e.cust.custKey = e.i64["c_custkey"]
+	e.cust.mktSegment = e.i8["c_mktsegment"]
 	return e
 }
 

@@ -20,6 +20,8 @@ func extensions() []Experiment {
 		{"ext-groupby", "Group-by micro-benchmark (described in Section 2, figures omitted)", ExtGroupBy},
 		{"ext-sql-q1", "SQL-planned Q1 vs hardcoded (parse, plan, execute)", ExtSQLQ1},
 		{"ext-sql-q6", "SQL-planned Q6 vs hardcoded (parse, plan, execute)", ExtSQLQ6},
+		{"ext-sql-q3", "SQL-planned Q3 vs hardcoded (multi-join, ORDER BY + LIMIT)", ExtSQLQ3},
+		{"ext-sql-q18", "SQL-planned Q18 vs hardcoded (HAVING, ORDER BY + LIMIT)", ExtSQLQ18},
 		{"ext-sql-q1-scaling", "SQL-planned Q1 multi-core scaling, measured vs modelled", ExtSQLQ1Scaling},
 		{"ext-sql-q6-scaling", "SQL-planned Q6 multi-core scaling, measured vs modelled", ExtSQLQ6Scaling},
 		{"ext-ablation-mlp", "Ablation: random-access MLP sensitivity of the large join", ExtAblationMLP},

@@ -24,6 +24,31 @@ group by l_returnflag, l_linestatus`
 	SQLQ6Text = `select sum(l_extendedprice * l_discount / 100) from lineitem
 where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
 and l_discount between 5 and 7 and l_quantity < 24`
+
+	// SQLQ3Text is TPC-H Q3 in this subset: the BUILDING market segment
+	// is code 1, revenue is in cents, and the top 10 orders by revenue
+	// come back in order.
+	SQLQ3Text = `select l_orderkey, sum(l_extendedprice * (100 - l_discount) / 100) as revenue,
+o_orderdate, o_shippriority
+from lineitem
+join orders on l_orderkey = o_orderkey
+join customer on o_custkey = c_custkey
+where c_mktsegment = 1 and o_orderdate < date '1995-03-15' and l_shipdate > date '1995-03-15'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10`
+
+	// SQLQ18Text is the full TPC-H Q18 (large-volume customers): the
+	// HAVING subquery is expressed directly as a grouped HAVING, and the
+	// 100 largest orders come back by totalprice descending.
+	SQLQ18Text = `select c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity)
+from lineitem
+join orders on l_orderkey = o_orderkey
+join customer on o_custkey = c_custkey
+group by c_custkey, o_orderkey, o_orderdate, o_totalprice
+having sum(l_quantity) > 300
+order by o_totalprice desc, o_orderdate
+limit 100`
 )
 
 // ExtSQLQ1 profiles SQL-planned TPC-H Q1 against its hardcoded twin.
@@ -60,6 +85,59 @@ func extSQLFigure(h *Harness, id, title, text string, q engine.TPCHQuery) Figure
 		f.Notes = append(f.Notes, fmt.Sprintf(
 			"%v: SQL result == hardcoded: %v; predicted %.2f ms, measured %.2f ms",
 			sys, a.Result.Equal(hard.Result),
+			a.Predicted.Milliseconds(), a.Profile.Milliseconds()))
+	}
+	if c, err := sql.Compile(h.Data, h.Cfg.Machine, text, sql.Options{}); err == nil {
+		f.Notes = append(f.Notes, fmt.Sprintf("cost-based choice: %s", c.Engine))
+	}
+	return f
+}
+
+// ExtSQLQ3 profiles SQL-planned TPC-H Q3 (multi-join, ordered top-10)
+// against its hardcoded twin on both engines.
+func ExtSQLQ3(h *Harness) Figure {
+	return extSQLTopFigure(h, "ext-sql-q3",
+		"SQL-planned Q3 vs hardcoded (multi-join, ORDER BY + LIMIT)", SQLQ3Text, "Q3")
+}
+
+// ExtSQLQ18 profiles the full SQL-planned TPC-H Q18 (HAVING + ordered
+// top-100) against its hardcoded twin on both engines.
+func ExtSQLQ18(h *Harness) Figure {
+	return extSQLTopFigure(h, "ext-sql-q18",
+		"SQL-planned Q18 vs hardcoded (HAVING, ORDER BY + LIMIT)", SQLQ18Text, "Q18")
+}
+
+// extSQLTopFigure profiles one ordered-output SQL statement against
+// its hardcoded twin on both engines, serial and at 4 workers (the
+// results must agree everywhere; the notes say whether they do).
+func extSQLTopFigure(h *Harness, id, title, text, label string) Figure {
+	f := Figure{ID: id, Title: title}
+	for _, sys := range HighPerf() {
+		engName := "typer"
+		if sys == Tectorwise {
+			engName = "tectorwise"
+		}
+		_, a, err := sql.Run(h.Data, h.Cfg.Machine, text, sql.Options{Engine: engName})
+		if err != nil {
+			f.Notes = append(f.Notes, fmt.Sprintf("%v: SQL pipeline failed: %v", sys, err))
+			continue
+		}
+		f.Series = append(f.Series, Series{
+			System: sys, Label: label + " sql",
+			Profile: a.Profile, Result: a.Result, Inputs: a.Inputs,
+		})
+		twin := label // "Q3" runs Q3; "Q18" runs the ordered Q18Top
+		if label == "Q18" {
+			twin = "Q18Top"
+		}
+		hard := h.MeasureTopQuery(sys, twin, Opts{})
+		hard.Label = label + " hard"
+		f.Series = append(f.Series, hard)
+		_, par, err := sql.Run(h.Data, h.Cfg.Machine, text, sql.Options{Engine: engName, Threads: 4})
+		parOK := err == nil && par.Result.Equal(a.Result)
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"%v: SQL result == hardcoded: %v; parallel(4) identical: %v; predicted %.2f ms, measured %.2f ms",
+			sys, a.Result.Equal(hard.Result), parOK,
 			a.Predicted.Milliseconds(), a.Profile.Milliseconds()))
 	}
 	if c, err := sql.Compile(h.Data, h.Cfg.Machine, text, sql.Options{}); err == nil {

@@ -47,9 +47,50 @@ func TestExtSQLQueriesMatchHardcoded(t *testing.T) {
 
 // Lookup must resolve the new experiments and the facade count them.
 func TestExtSQLRegistered(t *testing.T) {
-	for _, id := range []string{"ext-sql-q1", "ext-sql-q6", "ext-sql-q1-scaling", "ext-sql-q6-scaling"} {
+	for _, id := range []string{"ext-sql-q1", "ext-sql-q6", "ext-sql-q3", "ext-sql-q18",
+		"ext-sql-q1-scaling", "ext-sql-q6-scaling"} {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("experiment %q is not registered", id)
+		}
+	}
+}
+
+// The ordered-output experiments must reproduce their hardcoded twins
+// through the full parse -> plan -> execute path (serial and at 4
+// workers), on both engines, with non-empty measured profiles.
+func TestExtSQLQ3Q18MatchHardcoded(t *testing.T) {
+	hh := h(t)
+	for _, tc := range []struct {
+		f     Figure
+		label string
+	}{
+		{ExtSQLQ3(hh), "Q3"},
+		{ExtSQLQ18(hh), "Q18"},
+	} {
+		if len(tc.f.Series) != 4 {
+			t.Fatalf("%s: expected sql+hardcoded series for both engines, got %d:\n%s",
+				tc.f.ID, len(tc.f.Series), tc.f)
+		}
+		for _, sys := range HighPerf() {
+			sqlS := tc.f.Find(sys, tc.label+" sql")
+			hardS := tc.f.Find(sys, tc.label+" hard")
+			if sqlS == nil || hardS == nil {
+				t.Fatalf("%s: missing series for %v", tc.f.ID, sys)
+			}
+			if !sqlS.Result.Equal(hardS.Result) {
+				t.Errorf("%s on %v: SQL %v != hardcoded %v", tc.f.ID, sys, sqlS.Result, hardS.Result)
+			}
+			if sqlS.Result.Rows == 0 {
+				t.Errorf("%s on %v: ordered output is empty", tc.f.ID, sys)
+			}
+			if sqlS.Profile.Instructions == 0 || hardS.Profile.Instructions == 0 {
+				t.Errorf("%s on %v: a run reported no retired micro-ops", tc.f.ID, sys)
+			}
+		}
+		for _, n := range tc.f.Notes {
+			if strings.Contains(n, "false") {
+				t.Errorf("%s: note reports a mismatch: %s", tc.f.ID, n)
+			}
 		}
 	}
 }

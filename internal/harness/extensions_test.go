@@ -97,10 +97,11 @@ func TestFigureCSV(t *testing.T) {
 
 func TestAllExperimentsRegistry(t *testing.T) {
 	all := AllExperiments()
-	if len(all) != 43 {
-		t.Fatalf("expected 43 experiments, got %d", len(all))
+	if len(all) != 45 {
+		t.Fatalf("expected 45 experiments, got %d", len(all))
 	}
-	for _, id := range []string{"ext-groupby", "ext-sql-q1", "ext-sql-q6", "ext-sql-q1-scaling",
+	for _, id := range []string{"ext-groupby", "ext-sql-q1", "ext-sql-q6", "ext-sql-q3",
+		"ext-sql-q18", "ext-sql-q1-scaling",
 		"ext-sql-q6-scaling", "ext-ablation-mlp", "ext-ablation-pf", "ext-scaling"} {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("extension %s not in registry", id)

@@ -212,6 +212,9 @@ type runner struct {
 	selection  func(p *probe.Probe, as *probe.AddrSpace, cut engine.SelectionCutoffs, predicated bool) engine.Result
 	join       func(p *probe.Probe, as *probe.AddrSpace, size engine.JoinSize) engine.Result
 	tpchq      func(p *probe.Probe, as *probe.AddrSpace, q engine.TPCHQuery, predicated bool) engine.Result
+	// topq runs the ordered-output hardcoded twins ("Q3", "Q18Top");
+	// high-performance engines only.
+	topq func(p *probe.Probe, as *probe.AddrSpace, name string) engine.Result
 }
 
 func (h *Harness) newRunner(sys System, m *hw.Machine, as *probe.AddrSpace, simd bool) runner {
@@ -269,6 +272,12 @@ func (h *Harness) newRunner(sys System, m *hw.Machine, as *probe.AddrSpace, simd
 					return e.Q18(p, a)
 				}
 			},
+			topq: func(p *probe.Probe, a *probe.AddrSpace, name string) engine.Result {
+				if name == "Q3" {
+					return e.Q3(p, a)
+				}
+				return e.Q18Top(p, a)
+			},
 		}
 	default: // Tectorwise
 		var opts []tectorwise.Option
@@ -298,6 +307,12 @@ func (h *Harness) newRunner(sys System, m *hw.Machine, as *probe.AddrSpace, simd
 				default:
 					return e.Q18(p, a)
 				}
+			},
+			topq: func(p *probe.Probe, a *probe.AddrSpace, name string) engine.Result {
+				if name == "Q3" {
+					return e.Q3(p, a)
+				}
+				return e.Q18Top(p, a)
 			},
 		}
 	}
@@ -329,6 +344,16 @@ func (h *Harness) MeasureJoin(sys System, size engine.JoinSize, o Opts) Series {
 	return h.measure(sys, size.String(), o,
 		func(p *probe.Probe, as *probe.AddrSpace, r runner) engine.Result {
 			return r.join(p, as, size)
+		})
+}
+
+// MeasureTopQuery profiles one of the ordered-output hardcoded twins
+// — "Q3" or "Q18Top" — on a high-performance engine, through the same
+// cached measurement path as every other hardcoded workload.
+func (h *Harness) MeasureTopQuery(sys System, name string, o Opts) Series {
+	return h.measure(sys, name, o,
+		func(p *probe.Probe, as *probe.AddrSpace, r runner) engine.Result {
+			return r.topq(p, as, name)
 		})
 }
 

@@ -156,6 +156,13 @@ type JoinOn struct {
 	L, R  *ColRef
 }
 
+// OrderItem is one ORDER BY key: an expression (a select-item alias,
+// an aggregate call, or a grouped expression) with a direction.
+type OrderItem struct {
+	X    Expr
+	Desc bool
+}
+
 // Select is a parsed SELECT statement.
 type Select struct {
 	Explain bool
@@ -164,6 +171,9 @@ type Select struct {
 	Joins   []JoinOn
 	Where   Pred // nil when absent
 	GroupBy []Expr
+	Having  Pred // nil when absent; may contain aggregate calls
+	OrderBy []OrderItem
+	Limit   int64 // -1 when absent
 }
 
 // String renders the statement in canonical form: keywords lowercased,
@@ -198,6 +208,24 @@ func (s *Select) String() string {
 			}
 			b.WriteString(g.String())
 		}
+	}
+	if s.Having != nil {
+		b.WriteString(" having " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" order by ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.X.String())
+			if o.Desc {
+				b.WriteString(" desc")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " limit %d", s.Limit)
 	}
 	return b.String()
 }

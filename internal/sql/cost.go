@@ -181,6 +181,45 @@ func joinWork(e *estimator, pl *relop.Pipeline, nf float64, perProbeALU, perProb
 	}
 }
 
+// finalRows is the row count entering the finalize phase: the group
+// estimate, or the single scalar row.
+func finalRows(grouped bool, groups float64) float64 {
+	if grouped {
+		return groups
+	}
+	return 1
+}
+
+// postAggWork charges the serial finalize phase every engine shares:
+// HAVING compares over the groups and the sort/top-k comparison tree
+// (n·(log2(depth)+1) compares, half mispredicted — comparison sorting
+// over unsorted data defeats the branch predictor).
+func postAggWork(e *estimator, pl *relop.Pipeline, groups float64) {
+	if len(pl.Having) > 0 {
+		e.ops(cpu.OpALU, groups*2*float64(len(pl.Having)))
+		e.ops(cpu.OpBranch, groups)
+		e.in.Mispredicts += uint64(groups / 8)
+	}
+	if !pl.Ordered() {
+		return
+	}
+	// Same comparison-count shape as relop's charged finalize (and the
+	// EXPLAIN top-k annotation): n·(log2(depth)+1).
+	depth := groups
+	if pl.Limit > 0 && float64(pl.Limit) < depth {
+		depth = float64(pl.Limit)
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	cmps := groups * (math.Log2(depth) + 1)
+	keys := float64(len(pl.OrderBy) + 1)
+	e.ops(cpu.OpALU, cmps*keys)
+	e.ops(cpu.OpBranch, cmps)
+	e.in.Mispredicts += uint64(cmps / 2)
+	e.in.Ops.DepCycles += uint64(cmps / 2)
+}
+
 // groupWork charges the hash aggregation.
 func groupWork(e *estimator, nf, groups, nAggs, aggAlu, aggMul float64) {
 	hc := engine.DefaultHashCosts()
@@ -239,6 +278,7 @@ func predictTyper(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 		e.ops(cpu.OpMul, nf*aggMul)
 		e.in.Ops.DepCycles += uint64(nf * (1 + aggMul/2))
 	}
+	postAggWork(e, pl, finalRows(grouped, groups))
 	return e.in
 }
 
@@ -302,6 +342,7 @@ func predictTectorwise(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 	} else {
 		e.in.Ops.DepCycles += uint64(nf)
 	}
+	postAggWork(e, pl, finalRows(grouped, groups))
 	return e.in
 }
 
@@ -341,6 +382,7 @@ func predictRowStore(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 	if grouped {
 		groupWork(e, nf, groups, nAggs, aggAlu, aggMul)
 	}
+	postAggWork(e, pl, finalRows(grouped, groups))
 	return e.in
 }
 
@@ -374,5 +416,6 @@ func predictColStore(pl *relop.Pipeline, m *hw.Machine) tmam.Inputs {
 		e.ops(cpu.OpALU, nf*aggAlu)
 		e.ops(cpu.OpMul, nf*aggMul)
 	}
+	postAggWork(e, pl, finalRows(grouped, groups))
 	return e.in
 }

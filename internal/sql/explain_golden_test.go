@@ -1,0 +1,72 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden EXPLAIN plans for Q3 and Q18: the plan shape (operator
+// nesting, pushed-down build filters, top-k/having nodes with their
+// predicted comparison costs), the cost-based engine choice, and the
+// predicted-profile ordering are pinned, so a planner regression
+// surfaces as a readable diff instead of a silent plan change.
+
+const q3Plan = `limit 10
+  top-k [sum(((l_extendedprice * (100 - l_discount)) / 100)) desc, o_orderdate asc] (k=10 of est 150000 rows, ~648289 cmps)
+    hash-aggregate [sum(((l_extendedprice * (100 - l_discount)) / 100))] group by [l_orderkey, o_orderdate, o_shippriority]
+      hash-join [o_custkey = c_custkey] (build customer, 15000 rows where c_mktsegment = 1)
+        hash-join [l_orderkey = o_orderkey] (build orders, 150000 rows where o_orderdate < 1169)
+          filter [l_shipdate > 1169] (est sel 53.8%)
+            scan lineitem (600156 rows)
+`
+
+const q18Plan = `limit 100
+  top-k [o_totalprice desc, o_orderdate asc] (k=100 of est 150000 rows, ~1146578 cmps)
+    having [sum(l_quantity) > 300]
+      hash-aggregate [sum(l_quantity)] group by [c_custkey, o_orderkey, o_orderdate, o_totalprice]
+        hash-join [o_custkey = c_custkey] (build customer, 15000 rows)
+          hash-join [l_orderkey = o_orderkey] (build orders, 150000 rows)
+            scan lineitem (600156 rows)
+`
+
+func TestGoldenExplainQ3Q18(t *testing.T) {
+	d, m := cv(t)
+	for _, tc := range []struct{ name, sql, plan string }{
+		{"Q3", q3SQL, q3Plan},
+		{"Q18", q18SQL, q18Plan},
+	} {
+		c, err := Compile(d, m, tc.sql, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := c.Pipeline.String(); got != tc.plan {
+			t.Errorf("%s plan changed:\n--- got ---\n%s--- want ---\n%s", tc.name, got, tc.plan)
+		}
+		// Cost-based engine selection is pinned: the fused compiled
+		// engine wins both join-heavy plans on the default machine.
+		if c.Engine != "Typer" {
+			t.Errorf("%s: auto-selection chose %s, want Typer", tc.name, c.Engine)
+		}
+		// Predicted-profile ordering: the interpreted commercial engines
+		// must rank far behind both high-performance engines.
+		ms := map[string]float64{}
+		for _, p := range c.Predictions {
+			ms[p.System] = p.Profile.Seconds
+		}
+		for _, fast := range []string{"Typer", "Tectorwise"} {
+			for _, slow := range []string{"DBMS R", "DBMS C"} {
+				if ms[slow] < 2*ms[fast] {
+					t.Errorf("%s: predicted %s (%.1f ms) not well behind %s (%.1f ms)",
+						tc.name, slow, 1000*ms[slow], fast, 1000*ms[fast])
+				}
+			}
+		}
+		// The EXPLAIN body must surface the new operators to the shell.
+		out := c.Explain()
+		for _, want := range []string{"top-k", "limit", "<- chosen"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s EXPLAIN output missing %q:\n%s", tc.name, want, out)
+			}
+		}
+	}
+}

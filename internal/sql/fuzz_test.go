@@ -29,6 +29,37 @@ where o_totalprice > 30000000 group by l_orderkey`)
 	f.Add("explain select count(*) from nation")
 	f.Add("select sum(x) from t where a < b and c between 1 and 2")
 	f.Add("select -1 from t'")
+	// The ORDER BY/LIMIT/HAVING surface (Q3/Q18 shapes) plus malformed
+	// variants: the parser must return a positioned error, never panic.
+	f.Add(`select l_orderkey, sum(l_extendedprice * (100 - l_discount) / 100) as revenue,
+o_orderdate, o_shippriority
+from lineitem
+join orders on l_orderkey = o_orderkey
+join customer on o_custkey = c_custkey
+where c_mktsegment = 1 and o_orderdate < date '1995-03-15' and l_shipdate > date '1995-03-15'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10`)
+	f.Add(`select c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity)
+from lineitem
+join orders on l_orderkey = o_orderkey
+join customer on o_custkey = c_custkey
+group by c_custkey, o_orderkey, o_orderdate, o_totalprice
+having sum(l_quantity) > 300
+order by o_totalprice desc, o_orderdate
+limit 100`)
+	f.Add("select sum(x) from t group by g having count(*) between 1 and 2 order by 1 desc, g asc limit 7")
+	f.Add("select sum(x) from t order by")
+	f.Add("select sum(x) from t order by sum(x) desc desc")
+	f.Add("select sum(x) from t limit")
+	f.Add("select sum(x) from t limit 0")
+	f.Add("select sum(x) from t limit limit")
+	f.Add("select sum(x) from t having")
+	f.Add("select sum(x) from t having order by limit")
+	f.Add("select sum(x) from t group by having sum(x) > ")
+	f.Add("order by 1 limit 2")
+	f.Add("select sum(x) from t limit 1 limit 2")
+	f.Add("select sum(x) from t order by 18446744073709551616")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse(src)

@@ -49,7 +49,8 @@ var keywords = map[string]bool{
 	"select": true, "from": true, "where": true, "and": true,
 	"between": true, "join": true, "on": true, "group": true,
 	"by": true, "as": true, "sum": true, "count": true, "min": true,
-	"max": true, "date": true, "explain": true,
+	"max": true, "date": true, "explain": true, "having": true,
+	"order": true, "limit": true, "asc": true, "desc": true,
 }
 
 // lexer scans SQL text into tokens with positions.

@@ -17,11 +17,13 @@ type parser struct {
 // Parse parses one SELECT statement (optionally prefixed by EXPLAIN,
 // optionally terminated by ';').
 //
-// The grammar covers the paper's workload shapes:
+// The grammar covers the paper's workload shapes, Q3/Q18 included:
 //
 //	query  := [EXPLAIN] SELECT items FROM table (JOIN table ON col = col)*
-//	          [WHERE pred] [GROUP BY exprs] [';']
+//	          [WHERE pred] [GROUP BY exprs] [HAVING pred]
+//	          [ORDER BY order (',' order)*] [LIMIT number] [';']
 //	items  := expr [AS ident] (',' expr [AS ident])*
+//	order  := expr [ASC|DESC]
 //	pred   := atom (AND atom)*
 //	atom   := expr cmp expr | expr BETWEEN expr AND expr
 //	expr   := term (('+'|'-') term)*
@@ -29,6 +31,9 @@ type parser struct {
 //	factor := number | DATE 'Y-M-D' | [table'.']column |
 //	          (SUM|COUNT|MIN|MAX) '(' expr | '*' ')' |
 //	          '(' expr ')' | '-' factor
+//
+// HAVING predicates may contain aggregate calls; the binder restricts
+// them (and ORDER BY keys) to the aggregation's output columns.
 func Parse(src string) (*Select, error) {
 	toks, err := lexAll(src)
 	if err != nil {
@@ -101,7 +106,7 @@ func (p *parser) ident() (string, Pos, error) {
 }
 
 func (p *parser) parseSelect() (*Select, error) {
-	s := &Select{}
+	s := &Select{Limit: -1}
 	if p.keyword("explain") {
 		s.Explain = true
 	}
@@ -176,6 +181,49 @@ func (p *parser) parseSelect() (*Select, error) {
 				break
 			}
 		}
+	}
+	if p.keyword("having") {
+		h, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{X: x}
+			if p.keyword("desc") {
+				item.Desc = true
+			} else {
+				p.keyword("asc") // explicit ascending is the default
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("limit") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, t.pos.Errorf("expected row count after \"limit\", found %s", p.describe(t))
+		}
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, t.pos.Errorf("integer literal %q out of range", t.text)
+		}
+		if v < 1 {
+			return nil, t.pos.Errorf("LIMIT wants a positive row count, got %d", v)
+		}
+		s.Limit = v
 	}
 	return s, nil
 }

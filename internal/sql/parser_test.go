@@ -47,6 +47,23 @@ func TestParseGolden(t *testing.T) {
 			"select sum(lineitem.l_quantity) from lineitem where lineitem.l_shipdate <> 10",
 			"select sum(lineitem.l_quantity) from lineitem where lineitem.l_shipdate <> 10",
 		},
+		{
+			"SELECT sum(l_quantity) FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > 300 ORDER BY sum(l_quantity) DESC LIMIT 100",
+			"select sum(l_quantity) from lineitem group by l_orderkey having sum(l_quantity) > 300 order by sum(l_quantity) desc limit 100",
+		},
+		{
+			// ASC is the default and canonicalizes away; positions survive.
+			"select sum(l_tax) as t, count(*) from lineitem group by l_returnflag order by t desc, 2 asc limit 5",
+			"select sum(l_tax) as t, count(*) from lineitem group by l_returnflag order by t desc, 2 limit 5",
+		},
+		{
+			"select count(*) from orders having count(*) between 1 and 10",
+			"select count(*) from orders having count(*) between 1 and 10",
+		},
+		{
+			"select sum(o_totalprice) from orders order by sum(o_totalprice)",
+			"select sum(o_totalprice) from orders order by sum(o_totalprice)",
+		},
 	}
 	for _, tc := range cases {
 		if tc.want == "" {
@@ -93,6 +110,16 @@ func TestParseRejected(t *testing.T) {
 		{"select sum(9999999999999999999999) from lineitem", "1:12: integer literal"},
 		{"select sum(l_quantity) from lineitem where l_quantity !< 3", `1:55: unexpected character "!"`},
 		{"select sum(l_quantity)\nfrom lineitem\nwhere l_quantity ^ 3", `3:18: unexpected character "^"`},
+		{"select sum(l_quantity) from lineitem order", `1:43: expected "by"`},
+		{"select sum(l_quantity) from lineitem order by", "1:46: expected expression, found end of input"},
+		{"select sum(l_quantity) from lineitem order by sum(l_quantity),", "1:63: expected expression"},
+		{"select sum(l_quantity) from lineitem limit", `1:43: expected row count after "limit"`},
+		{"select sum(l_quantity) from lineitem limit 0", "1:44: LIMIT wants a positive row count"},
+		{"select sum(l_quantity) from lineitem limit -3", `1:44: expected row count after "limit"`},
+		{"select sum(l_quantity) from lineitem limit 99999999999999999999", "1:44: integer literal"},
+		{"select sum(l_quantity) from lineitem having", "1:44: expected expression, found end of input"},
+		{"select sum(l_quantity) from lineitem having sum(l_quantity)", `1:60: expected comparison or "between"`},
+		{"select sum(l_quantity) from lineitem limit 3 order by 1", `1:46: unexpected "order" after statement`},
 	}
 	for _, tc := range cases {
 		_, err := Parse(tc.in)
@@ -121,6 +148,11 @@ func TestBindRejected(t *testing.T) {
 		{"select sum(l_quantity + o_totalprice) from lineitem join orders on l_orderkey = o_orderkey where l_quantity < o_totalprice", "1:109: predicate spans multiple tables"},
 		{"select sum(l_quantity) from lineitem join supplier on l_returnflag = l_linestatus", `1:43: join condition compares two columns of table "lineitem"`},
 		{"select sum(l_quantity) from lineitem join nation on s_nationkey = n_nationkey", `1:53: unknown column "s_nationkey" in join condition`},
+		{"select sum(l_quantity) from lineitem group by l_returnflag having l_quantity > 3", `HAVING expression "l_quantity" is neither an aggregate nor in GROUP BY`},
+		{"select sum(l_quantity) from lineitem group by l_returnflag having sum(l_quantity) * 2 > 3", "HAVING supports an aggregate call or a grouped expression"},
+		{"select sum(l_quantity) from lineitem group by l_returnflag order by l_tax", `ORDER BY expression "l_tax" is neither an aggregate nor in GROUP BY`},
+		{"select sum(l_quantity) from lineitem order by 2", "ORDER BY position 2 is out of range (1..1)"},
+		{"select sum(l_quantity) from lineitem group by l_returnflag order by nope", `unknown column "nope"`},
 	}
 	for _, tc := range cases {
 		stmt, err := Parse(tc.in)

@@ -160,6 +160,30 @@ var aggKinds = map[string]relop.AggKind{
 	"min": relop.AggMin, "max": relop.AggMax,
 }
 
+// exprEq reports structural equality of two bound expressions — how
+// the binder matches a HAVING/ORDER BY expression against the group
+// keys and aggregates already in the pipeline.
+func exprEq(a, b *relop.Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Op != b.Op || a.Tab != b.Tab || a.Col != b.Col || a.Val != b.Val {
+		return false
+	}
+	return exprEq(a.L, b.L) && exprEq(a.R, b.R)
+}
+
+// containsAgg reports whether an AST expression nests an aggregate.
+func containsAgg(x Expr) bool {
+	switch e := x.(type) {
+	case *AggCall:
+		return true
+	case *BinExpr:
+		return containsAgg(e.L) || containsAgg(e.R)
+	}
+	return false
+}
+
 // BuildPipeline binds a parsed SELECT against the catalog,
 // type-checks it, chooses the join order (largest table drives the
 // probe pass; every other table becomes a hash build), pushes filter
@@ -335,8 +359,12 @@ func BuildPipeline(d *tpch.Data, stmt *Select) (*relop.Pipeline, error) {
 
 	// Bind select items: aggregates fold into the result; bare grouped
 	// columns are display-only (the Result checksum covers aggregate
-	// values, matching the hardcoded queries' convention).
-	for _, item := range stmt.Items {
+	// values, matching the hardcoded queries' convention). Each item's
+	// output column is recorded so ORDER BY can name it by alias or
+	// 1-based position.
+	itemOut := make([]relop.OutCol, len(stmt.Items))
+	aliases := map[string]relop.OutCol{}
+	for ii, item := range stmt.Items {
 		switch x := item.X.(type) {
 		case *AggCall:
 			agg := relop.Agg{Kind: aggKinds[x.Fn]}
@@ -351,26 +379,38 @@ func BuildPipeline(d *tpch.Data, stmt *Select) (*relop.Pipeline, error) {
 				agg.Arg = arg
 			}
 			pl.Aggs = append(pl.Aggs, agg)
+			itemOut[ii] = relop.OutCol{Idx: len(pl.Aggs) - 1}
 		case *ColRef:
 			tab, col, err := b.resolveCol(x)
 			if err != nil {
 				return nil, err
 			}
-			found := false
-			for _, g := range pl.GroupBy {
+			found := -1
+			for gi, g := range pl.GroupBy {
 				if g.Op == relop.OpCol && g.Tab == tab && g.Col == col {
-					found = true
+					found = gi
 				}
 			}
-			if !found {
+			if found < 0 {
 				return nil, x.P.Errorf("column %q must appear in GROUP BY", x.Name)
 			}
+			itemOut[ii] = relop.OutCol{Key: true, Idx: found}
 		default:
 			return nil, item.X.Pos().Errorf("select item must be an aggregate or a grouped column")
+		}
+		if item.Alias != "" {
+			aliases[item.Alias] = itemOut[ii]
 		}
 	}
 	if len(pl.Aggs) == 0 {
 		return nil, stmt.Items[0].X.Pos().Errorf("the select list needs at least one aggregate (sum/count/min/max)")
+	}
+	// Aggregates bound past this point (HAVING/ORDER BY only) are
+	// hidden: computed, but not part of the output rows.
+	pl.OutAggs = len(pl.Aggs)
+
+	if err := bindPostAgg(b, pl, stmt, aliases, itemOut); err != nil {
+		return nil, err
 	}
 
 	// Materialize the table refs now that every used column is known.
@@ -384,6 +424,136 @@ func BuildPipeline(d *tpch.Data, stmt *Select) (*relop.Pipeline, error) {
 
 	estimate(pl, b, d)
 	return pl, nil
+}
+
+// bindAgg resolves an aggregate call to its pipeline index, appending
+// a hidden aggregate when no already-bound aggregate matches — so
+// HAVING sum(x) > k works whether or not sum(x) is selected.
+func bindAgg(b *binder, pl *relop.Pipeline, x *AggCall) (int, error) {
+	agg := relop.Agg{Kind: aggKinds[x.Fn]}
+	if !x.Star {
+		arg, err := b.bindExpr(x.Arg)
+		if err != nil {
+			return 0, err
+		}
+		if x.Fn == "count" {
+			arg = nil // count(expr) over non-null columns == count(*)
+		}
+		agg.Arg = arg
+	}
+	for ai, a := range pl.Aggs {
+		if a.Kind == agg.Kind && exprEq(a.Arg, agg.Arg) {
+			return ai, nil
+		}
+	}
+	pl.Aggs = append(pl.Aggs, agg)
+	return len(pl.Aggs) - 1, nil
+}
+
+// bindOutCol resolves a HAVING/ORDER BY expression to an aggregation
+// output column: an aggregate call, a select-item alias, or an
+// expression matching a group key.
+func bindOutCol(b *binder, pl *relop.Pipeline, x Expr, clause string, aliases map[string]relop.OutCol) (relop.OutCol, error) {
+	if a, ok := x.(*AggCall); ok {
+		idx, err := bindAgg(b, pl, a)
+		if err != nil {
+			return relop.OutCol{}, err
+		}
+		return relop.OutCol{Idx: idx}, nil
+	}
+	if c, ok := x.(*ColRef); ok && c.Table == "" {
+		if out, ok := aliases[c.Name]; ok {
+			return out, nil
+		}
+	}
+	if containsAgg(x) {
+		return relop.OutCol{}, x.Pos().Errorf("%s supports an aggregate call or a grouped expression, not arithmetic over aggregates", clause)
+	}
+	bx, err := b.bindExpr(x)
+	if err != nil {
+		return relop.OutCol{}, err
+	}
+	for gi, g := range pl.GroupBy {
+		if exprEq(g, bx) {
+			return relop.OutCol{Key: true, Idx: gi}, nil
+		}
+	}
+	return relop.OutCol{}, x.Pos().Errorf("%s expression %q is neither an aggregate nor in GROUP BY", clause, x)
+}
+
+// bindOutScalar resolves one side of a HAVING comparison: a literal or
+// an output column.
+func bindOutScalar(b *binder, pl *relop.Pipeline, x Expr, aliases map[string]relop.OutCol) (relop.OutScalar, error) {
+	switch e := x.(type) {
+	case *NumLit:
+		return relop.OutScalar{Const: true, Val: e.V}, nil
+	case *DateLit:
+		return relop.OutScalar{Const: true, Val: e.Days}, nil
+	}
+	col, err := bindOutCol(b, pl, x, "HAVING", aliases)
+	if err != nil {
+		return relop.OutScalar{}, err
+	}
+	return relop.OutScalar{Col: col}, nil
+}
+
+// bindPostAgg binds the post-aggregation clauses — HAVING, ORDER BY
+// (aliases and 1-based positions included) and LIMIT — onto the
+// pipeline's output columns.
+func bindPostAgg(b *binder, pl *relop.Pipeline, stmt *Select, aliases map[string]relop.OutCol, itemOut []relop.OutCol) error {
+	if stmt.Having != nil {
+		for _, conj := range flattenAnd(stmt.Having) {
+			switch h := conj.(type) {
+			case *CmpPred:
+				l, err := bindOutScalar(b, pl, h.L, aliases)
+				if err != nil {
+					return err
+				}
+				r, err := bindOutScalar(b, pl, h.R, aliases)
+				if err != nil {
+					return err
+				}
+				pl.Having = append(pl.Having, relop.OutPred{Cmp: h.Op, L: l, R: r})
+			case *BetweenPred:
+				x, err := bindOutScalar(b, pl, h.X, aliases)
+				if err != nil {
+					return err
+				}
+				lo, err := bindOutScalar(b, pl, h.Lo, aliases)
+				if err != nil {
+					return err
+				}
+				hi, err := bindOutScalar(b, pl, h.Hi, aliases)
+				if err != nil {
+					return err
+				}
+				pl.Having = append(pl.Having,
+					relop.OutPred{Cmp: relop.Ge, L: x, R: lo},
+					relop.OutPred{Cmp: relop.Le, L: x, R: hi})
+			default:
+				return conj.Pos().Errorf("unsupported HAVING predicate")
+			}
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if nl, ok := o.X.(*NumLit); ok {
+			// ORDER BY n names the n-th select item (positional form).
+			if nl.V < 1 || nl.V > int64(len(itemOut)) {
+				return nl.P.Errorf("ORDER BY position %d is out of range (1..%d)", nl.V, len(itemOut))
+			}
+			pl.OrderBy = append(pl.OrderBy, relop.OrderKey{Col: itemOut[nl.V-1], Desc: o.Desc})
+			continue
+		}
+		col, err := bindOutCol(b, pl, o.X, "ORDER BY", aliases)
+		if err != nil {
+			return err
+		}
+		pl.OrderBy = append(pl.OrderBy, relop.OrderKey{Col: col, Desc: o.Desc})
+	}
+	if stmt.Limit >= 0 {
+		pl.Limit = int(stmt.Limit)
+	}
+	return nil
 }
 
 func andPred(l, r *relop.Pred) *relop.Pred {

@@ -95,6 +95,7 @@ func Schema() []TableMeta {
 			Cols: []ColumnMeta{
 				{Name: "c_custkey", Kind: KindI64, I64: func(d *Data) []int64 { return d.Customer.CustKey }},
 				{Name: "c_nationkey", Kind: KindI64, I64: func(d *Data) []int64 { return d.Customer.NationKey }},
+				{Name: "c_mktsegment", Kind: KindI8, I8: func(d *Data) []byte { return d.Customer.MktSegment }},
 				{Name: "c_name", Kind: KindStr, Str: func(d *Data) []string { return d.Customer.Name }},
 			},
 		},
@@ -125,6 +126,7 @@ func Schema() []TableMeta {
 				{Name: "o_custkey", Kind: KindI64, I64: func(d *Data) []int64 { return d.Orders.CustKey }},
 				{Name: "o_orderdate", Kind: KindI64, I64: func(d *Data) []int64 { return d.Orders.OrderDate }},
 				{Name: "o_totalprice", Kind: KindI64, I64: func(d *Data) []int64 { return d.Orders.TotalPrice }},
+				{Name: "o_shippriority", Kind: KindI64, I64: func(d *Data) []int64 { return d.Orders.ShipPriority }},
 			},
 		},
 		{

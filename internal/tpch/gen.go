@@ -104,11 +104,16 @@ func (d *Data) genCustomer() {
 	c := &d.Customer
 	c.CustKey = make([]int64, n)
 	c.NationKey = make([]int64, n)
+	c.MktSegment = make([]byte, n)
 	c.Name = make([]string, n)
 	r := newRNG(202)
+	// The segment column draws from its own stream so adding it did not
+	// shift the nation-key sequence existing results depend on.
+	rSeg := newRNG(203)
 	for i := 0; i < n; i++ {
 		c.CustKey[i] = int64(i + 1)
 		c.NationKey[i] = r.intn(NationCount)
+		c.MktSegment[i] = byte(rSeg.intn(int64(len(MktSegments))))
 		c.Name[i] = "Customer#" + pad9(i+1)
 	}
 }
@@ -172,6 +177,7 @@ func (d *Data) genOrdersLineitem() {
 	o.CustKey = make([]int64, nOrders)
 	o.OrderDate = make([]int64, nOrders)
 	o.TotalPrice = make([]int64, nOrders)
+	o.ShipPriority = make([]int64, nOrders) // dbgen emits a constant 0
 
 	l := &d.Lineitem
 	estLines := nOrders * 4

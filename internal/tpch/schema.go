@@ -18,6 +18,8 @@ var (
 	DateQ6Hi = MustDate(1995, 1, 1)
 	// DateStatusCut separates linestatus 'F' from 'O' (1995-06-17).
 	DateStatusCut = MustDate(1995, 6, 17)
+	// DateQ3Cutoff is Q3's order/ship date pivot (1995-03-15).
+	DateQ3Cutoff = MustDate(1995, 3, 15)
 )
 
 var cumDays = [13]int{0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365}
@@ -91,10 +93,18 @@ type Supplier struct {
 
 // Customer is the customer table (150k x SF rows).
 type Customer struct {
-	CustKey   []int64
-	NationKey []int64
-	Name      []string
+	CustKey    []int64
+	NationKey  []int64
+	MktSegment []byte // segment code, index into MktSegments
+	Name       []string
 }
+
+// MktSegments are the five TPC-H market segments; Customer.MktSegment
+// stores the index (Q3 filters on BUILDING = code 1).
+var MktSegments = [5]string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// MktSegBuilding is the segment code Q3 selects.
+const MktSegBuilding = 1
 
 // Part is the part table (200k x SF rows).
 type Part struct {
@@ -113,10 +123,11 @@ type PartSupp struct {
 
 // Orders is the orders table (1.5M x SF rows).
 type Orders struct {
-	OrderKey   []int64
-	CustKey    []int64
-	OrderDate  []int64 // days since epoch
-	TotalPrice []int64 // cents
+	OrderKey     []int64
+	CustKey      []int64
+	OrderDate    []int64 // days since epoch
+	TotalPrice   []int64 // cents
+	ShipPriority []int64 // 0 for every row, as dbgen generates it
 }
 
 // Lineitem is the lineitem table (~6M x SF rows).

@@ -7,8 +7,8 @@ import (
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 43 { // table1 + fig1..30 + 4 text claims + 8 extensions
-		t.Fatalf("expected 43 experiments, got %d", len(ids))
+	if len(ids) != 45 { // table1 + fig1..30 + 4 text claims + 10 extensions
+		t.Fatalf("expected 45 experiments, got %d", len(ids))
 	}
 	if ids[0] != "table1" || ids[1] != "fig1" {
 		t.Fatalf("unexpected ordering: %v", ids[:2])
