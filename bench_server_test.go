@@ -1,0 +1,208 @@
+// Server benchmarks and the perf-regression baseline. The repeated-
+// query workload (a small set of distinct statements, many
+// submissions each) runs through the concurrent query server at 1, 4
+// and 8 streams:
+//
+//	go test -bench Server -benchtime=1x
+//
+// measures it, and both the benchmarks and TestServerBenchBaseline
+// rewrite BENCH_server.json — queries/sec per stream count, simulated
+// per-query cost, and the plan-cache hit rate — so future changes
+// have a trajectory to compare against. Wall-clock rates are
+// host-dependent; the simulated per-query milliseconds and the hit
+// rates are deterministic.
+package olapmicro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"olapmicro/internal/hw"
+	"olapmicro/internal/server"
+	"olapmicro/internal/tpch"
+)
+
+// The bench database is small (SF 0.02): the quantities under test —
+// scheduling, cache behavior, relative throughput across stream
+// counts — are shape-level, and the workload runs dozens of times.
+var (
+	benchSrvOnce sync.Once
+	benchSrvData *tpch.Data
+	benchSrvMach *hw.Machine
+)
+
+func benchServerDB() (*tpch.Data, *hw.Machine) {
+	benchSrvOnce.Do(func() {
+		benchSrvData = tpch.Generate(0.02)
+		benchSrvMach = hw.Broadwell().Scaled(8)
+	})
+	return benchSrvData, benchSrvMach
+}
+
+// serverBenchWorkload is the repeated-query mix: distinct plans so
+// the cache holds several entries, repeated submissions so it hits.
+var serverBenchWorkload = []string{
+	"select sum(l_extendedprice * l_discount / 100) from lineitem where l_discount between 5 and 7 and l_quantity < 24",
+	"select sum(l_quantity), count(*) from lineitem where l_shipdate <= date '1998-09-02' group by l_returnflag, l_linestatus",
+	"select count(*), sum(o_totalprice) from orders where o_totalprice > 15000000",
+	"select c_nationkey, count(*) from customer group by c_nationkey order by c_nationkey limit 5",
+}
+
+// streamPoint is one measured sweep point of the baseline file.
+type streamPoint struct {
+	Streams     int     `json:"streams"`
+	Queries     int     `json:"queries"`
+	WallQPS     float64 `json:"wall_qps"`
+	SimMsMean   float64 `json:"sim_ms_per_query"`
+	PlanHitRate float64 `json:"plan_hit_rate"`
+}
+
+// benchBaseline is the BENCH_server.json document.
+type benchBaseline struct {
+	Schema   int           `json:"schema"`
+	Workload string        `json:"workload"`
+	Machine  string        `json:"machine"`
+	SF       float64       `json:"scale_factor"`
+	Workers  int           `json:"workers"`
+	Threads  int           `json:"query_threads"`
+	Streams  []streamPoint `json:"streams"`
+}
+
+// runServerWorkload pushes reps rounds of the workload through a
+// fresh server at the given stream count and reports the sweep point.
+// One synchronous pass primes the plan cache so hit rates compare
+// across stream counts.
+func runServerWorkload(tb testing.TB, streams, reps int) streamPoint {
+	tb.Helper()
+	d, m := benchServerDB()
+	srv, err := server.New(server.Config{
+		Data: d, Machine: m,
+		Workers: 4, QueryThreads: 2,
+		MaxInFlight: streams, MaxQueue: streams * len(serverBenchWorkload) * reps,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	for _, q := range serverBenchWorkload {
+		if _, err := srv.Submit(ctx, q); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		simSec float64
+		served int
+	)
+	start := time.Now()
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for rep := 0; rep < reps; rep++ {
+				q := serverBenchWorkload[(s+rep)%len(serverBenchWorkload)]
+				resp, err := srv.Submit(ctx, q)
+				if err != nil {
+					tb.Errorf("streams %d: %v", streams, err)
+					return
+				}
+				mu.Lock()
+				simSec += resp.Profile.Seconds
+				served++
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	st := srv.Stats()
+	p := streamPoint{
+		Streams:     streams,
+		Queries:     served,
+		PlanHitRate: st.PlanHitRate(),
+	}
+	if wall > 0 {
+		p.WallQPS = float64(served) / wall
+	}
+	if served > 0 {
+		p.SimMsMean = simSec / float64(served) * 1e3
+	}
+	return p
+}
+
+// writeServerBaseline measures every stream count and rewrites
+// BENCH_server.json.
+func writeServerBaseline(tb testing.TB, reps int) benchBaseline {
+	tb.Helper()
+	_, m := benchServerDB()
+	doc := benchBaseline{
+		Schema:   1,
+		Workload: fmt.Sprintf("%d distinct statements, %d submissions per stream, plan cache primed", len(serverBenchWorkload), reps),
+		Machine:  m.Name,
+		SF:       0.02,
+		Workers:  4,
+		Threads:  2,
+	}
+	for _, streams := range []int{1, 4, 8} {
+		doc.Streams = append(doc.Streams, runServerWorkload(tb, streams, reps))
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_server.json", append(buf, '\n'), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	return doc
+}
+
+// TestServerBenchBaseline produces the baseline during plain `go
+// test` and pins its invariants: every sweep point serves the whole
+// workload and hits the primed plan cache.
+func TestServerBenchBaseline(t *testing.T) {
+	reps := 6
+	if testing.Short() {
+		reps = 2
+	}
+	doc := writeServerBaseline(t, reps)
+	if len(doc.Streams) != 3 {
+		t.Fatalf("want 3 sweep points, got %d", len(doc.Streams))
+	}
+	for _, p := range doc.Streams {
+		if p.Queries != p.Streams*reps {
+			t.Errorf("streams %d: served %d, want %d", p.Streams, p.Queries, p.Streams*reps)
+		}
+		if p.PlanHitRate <= 0 {
+			t.Errorf("streams %d: plan-cache hit rate %.2f must be > 0 on the repeated workload", p.Streams, p.PlanHitRate)
+		}
+		if p.SimMsMean <= 0 {
+			t.Errorf("streams %d: simulated per-query cost missing", p.Streams)
+		}
+	}
+}
+
+// BenchmarkServerStreams measures wall queries/sec per stream count;
+// -benchtime=1x gives one full workload pass. The final sub-benchmark
+// also rewrites BENCH_server.json so `go test -bench Server` emits
+// the baseline too.
+func BenchmarkServerStreams(b *testing.B) {
+	for _, streams := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			var last streamPoint
+			for i := 0; i < b.N; i++ {
+				last = runServerWorkload(b, streams, 6)
+			}
+			b.ReportMetric(last.WallQPS, "wall-q/s")
+			b.ReportMetric(last.SimMsMean, "sim-ms/query")
+			b.ReportMetric(last.PlanHitRate, "hit-rate")
+		})
+	}
+	writeServerBaseline(b, 6)
+}

@@ -89,7 +89,9 @@ func BenchmarkTextQ6Pred(b *testing.B)                       { runExperiment(b, 
 func BenchmarkTextChains(b *testing.B)                       { runExperiment(b, "text-chains") }
 func BenchmarkTextHT(b *testing.B)                           { runExperiment(b, "text-ht") }
 
-func BenchmarkExtGroupBy(b *testing.B)     { runExperiment(b, "ext-groupby") }
-func BenchmarkExtAblationMLP(b *testing.B) { runExperiment(b, "ext-ablation-mlp") }
-func BenchmarkExtAblationPf(b *testing.B)  { runExperiment(b, "ext-ablation-pf") }
-func BenchmarkExtScaling(b *testing.B)     { runExperiment(b, "ext-scaling") }
+func BenchmarkExtGroupBy(b *testing.B)         { runExperiment(b, "ext-groupby") }
+func BenchmarkExtSQLConcurrentQ1(b *testing.B) { runExperiment(b, "ext-sql-concurrent-q1") }
+func BenchmarkExtSQLConcurrentQ6(b *testing.B) { runExperiment(b, "ext-sql-concurrent-q6") }
+func BenchmarkExtAblationMLP(b *testing.B)     { runExperiment(b, "ext-ablation-mlp") }
+func BenchmarkExtAblationPf(b *testing.B)      { runExperiment(b, "ext-ablation-pf") }
+func BenchmarkExtScaling(b *testing.B)         { runExperiment(b, "ext-scaling") }

@@ -1,0 +1,106 @@
+// Command olapserve is the concurrent query server: many in-flight
+// SQL statements share one morsel-driven worker pool, identical
+// statements share one LRU-cached plan, and admission control bounds
+// the executing and waiting query counts. It speaks a line-oriented
+// protocol over stdin (the default) or TCP (-listen), one session per
+// connection, all sessions sharing the service:
+//
+//	submit <sql>    accept; "ok id=N" now, "result id=N ..." when done
+//	query <sql>     synchronous submit: block and print the result
+//	cancel <id>     cancel a pending submission
+//	stats           print the service counters (plan-cache hit rate,
+//	                in-flight/queued/rejected, pool shape)
+//	wait            block until this session's submissions finish
+//	quit            wait, then exit (EOF does the same)
+//
+// Usage:
+//
+//	olapserve -quick
+//	olapserve -quick -workers 8 -query-threads 2 -inflight 16
+//	olapserve -quick -listen 127.0.0.1:7433
+//	printf 'query select count(*) from orders\nquit\n' | olapserve -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"olapmicro/internal/harness"
+	"olapmicro/internal/server"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use the miniaturized test configuration (1/8 caches, SF 0.25)")
+		workers  = flag.Int("workers", 4, "shared morsel worker pool size")
+		qthreads = flag.Int("query-threads", 0, "per-query parallelism on the pool (default: the pool size)")
+		inflight = flag.Int("inflight", 0, "max queries executing at once (default: 2 x workers)")
+		queue    = flag.Int("queue", 0, "max queries waiting for admission (default: 4 x inflight)")
+		cache    = flag.Int("cache", 64, "plan-cache capacity in entries")
+		engine   = flag.String("engine", "auto", "default execution engine: auto, typer or tectorwise")
+		listen   = flag.String("listen", "", "serve TCP on this address instead of stdin (e.g. 127.0.0.1:7433)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "error: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	fmt.Fprintf(os.Stderr, "machine: %s | SF %.3g | generating database...\n", cfg.Machine.Name, cfg.SF)
+	start := time.Now()
+	h := harness.New(cfg)
+	fmt.Fprintf(os.Stderr, "database ready in %v (%d lineitem rows)\n",
+		time.Since(start).Round(time.Millisecond), h.Data.Lineitem.Rows())
+
+	srv, err := server.New(server.Config{
+		Data: h.Data, Machine: h.Cfg.Machine,
+		Workers: *workers, QueryThreads: *qthreads,
+		MaxInFlight: *inflight, MaxQueue: *queue,
+		PlanCache: *cache, Engine: *engine,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(2)
+	}
+	defer srv.Close()
+	sc := srv.Config()
+	fmt.Fprintf(os.Stderr, "serving: %d pool workers, %d threads/query, %d in-flight + %d queued, plan cache %d\n",
+		sc.Workers, sc.QueryThreads, sc.MaxInFlight, sc.MaxQueue, sc.PlanCache)
+
+	if *listen == "" {
+		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "error: reading input: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: accept: %v\n", err)
+			os.Exit(1)
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			fmt.Fprintf(os.Stderr, "session from %s\n", conn.RemoteAddr())
+			if err := srv.ServeSession(conn, conn); err != nil {
+				fmt.Fprintf(os.Stderr, "session %s: %v\n", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}

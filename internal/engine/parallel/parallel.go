@@ -41,10 +41,14 @@ type Morsel struct {
 // small enough that the interleave stays balanced.
 const DefaultMorselRows = 16384
 
-// workerWindow is the simulated address-space window each worker's
+// WorkerWindow is the simulated address-space window each worker's
 // private structures are carved from — 64 GB of free simulated
 // addresses, far past any group table a planner estimate can size.
-const workerWindow = 1 << 36
+// Everything that builds morsel workers (Run here, the concurrent
+// internal/server pool) must fork windows of this one size, or
+// per-query address-space layout would diverge between a dedicated
+// and a shared run.
+const WorkerWindow = 1 << 36
 
 // Options tunes one parallel run.
 type Options struct {
@@ -168,20 +172,8 @@ func Run(m *hw.Machine, as *probe.AddrSpace, ex Executor, pl *relop.Pipeline, op
 		return nil, err
 	}
 	morsels := Morsels(prep.Rows(), opts.MorselRows, prep.MorselAlign(), threads)
-	// A driver smaller than the worker fleet leaves workers idle; they
-	// must not count toward the shared-bandwidth divisor ("with T cores
-	// streaming" means cores that actually stream) or depress the busy
-	// workers' ceiling.
-	if len(morsels) > 0 && threads > len(morsels) {
-		threads = len(morsels)
-	}
-
-	workers := make([]relop.Worker, threads)
-	probes := make([]*probe.Probe, threads)
-	for t := 0; t < threads; t++ {
-		probes[t] = probe.New(m, pf)
-		workers[t] = prep.NewWorker(probes[t], as.Fork(fmt.Sprintf("parallel.worker%d", t), workerWindow))
-	}
+	probes, workers := NewWorkers(m, pf, as, prep, morsels, threads, "parallel.worker")
+	threads = len(workers)
 
 	// Morsel assignment is strided and deterministic: worker t runs
 	// morsels t, t+T, t+2T, ... Claiming from a shared queue in host
@@ -213,8 +205,46 @@ func Run(m *hw.Machine, as *probe.AddrSpace, ex Executor, pl *relop.Pipeline, op
 	// probe so they count toward the serial span, not any worker's.
 	merged := relop.FinalizeProbed(buildProbe, pl, partials)
 
-	// Account every worker under the shared-socket ceiling: with T
-	// cores streaming, each one gets at most per-socket/T.
+	return Assemble(m, buildProbe, probes, merged, len(morsels)), nil
+}
+
+// NewWorkers builds the per-thread execution state of one
+// morsel-driven run — a probe (a simulated core) and a worker with a
+// WorkerWindow-sized address-space fork named name0, name1, ... per
+// thread. The thread count clamps to the morsel count first: a driver
+// smaller than the worker fleet leaves workers idle, and idle workers
+// must not count toward the shared-bandwidth divisor ("with T cores
+// streaming" means cores that actually stream) or depress the busy
+// workers' ceiling. Run and the concurrent internal/server pool both
+// build workers here, which is what keeps a shared-pool query's
+// partition — and therefore its results and profiles — identical to a
+// dedicated run's.
+func NewWorkers(m *hw.Machine, pf mem.PrefetcherConfig, as *probe.AddrSpace, prep relop.Prepared, morsels []Morsel, threads int, name string) ([]*probe.Probe, []relop.Worker) {
+	if len(morsels) > 0 && threads > len(morsels) {
+		threads = len(morsels)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	probes := make([]*probe.Probe, threads)
+	workers := make([]relop.Worker, threads)
+	for t := 0; t < threads; t++ {
+		probes[t] = probe.New(m, pf)
+		workers[t] = prep.NewWorker(probes[t], as.Fork(fmt.Sprintf("%s%d", name, t), WorkerWindow))
+	}
+	return probes, workers
+}
+
+// Assemble accounts one completed morsel-driven run from its probes:
+// the build probe's serial span (which must already include the
+// finalize work) plus every worker probe under the shared-socket
+// ceiling — with T cores streaming, each one gets at most
+// per-socket/T. Run calls it on its own probes; internal/server calls
+// it per query after driving the same worker shape through its shared
+// pool, so a query's accounting is identical however its morsels were
+// interleaved with other queries'.
+func Assemble(m *hw.Machine, buildProbe *probe.Probe, probes []*probe.Probe, merged engine.Result, morsels int) *Result {
+	threads := len(probes)
 	params := tmam.Params{
 		BWSeq:  min(m.PerCoreBW.Sequential, m.PerSocketBW.Sequential/float64(threads)),
 		BWRand: min(m.PerCoreBW.Random, m.PerSocketBW.Random/float64(threads)),
@@ -224,7 +254,7 @@ func Run(m *hw.Machine, as *probe.AddrSpace, ex Executor, pl *relop.Pipeline, op
 	total := buildIn
 	res := &Result{
 		Threads: threads,
-		Morsels: len(morsels),
+		Morsels: morsels,
 		Result:  merged,
 		Build:   buildProf,
 	}
@@ -246,5 +276,5 @@ func Run(m *hw.Machine, as *probe.AddrSpace, ex Executor, pl *relop.Pipeline, op
 		res.SocketBandwidthGBs = float64(total.MemStats.TotalBytes()) / res.Seconds / hw.GB
 		res.Speedup = res.Single.Seconds / res.Seconds
 	}
-	return res, nil
+	return res
 }

@@ -24,6 +24,8 @@ func extensions() []Experiment {
 		{"ext-sql-q18", "SQL-planned Q18 vs hardcoded (HAVING, ORDER BY + LIMIT)", ExtSQLQ18},
 		{"ext-sql-q1-scaling", "SQL-planned Q1 multi-core scaling, measured vs modelled", ExtSQLQ1Scaling},
 		{"ext-sql-q6-scaling", "SQL-planned Q6 multi-core scaling, measured vs modelled", ExtSQLQ6Scaling},
+		{"ext-sql-concurrent-q1", "Concurrent Q1 streams through the query server, measured vs modelled", ExtSQLConcurrentQ1},
+		{"ext-sql-concurrent-q6", "Concurrent Q6 streams through the query server, measured vs modelled", ExtSQLConcurrentQ6},
 		{"ext-ablation-mlp", "Ablation: random-access MLP sensitivity of the large join", ExtAblationMLP},
 		{"ext-ablation-pf", "Ablation: prefetch run-ahead distance vs projection stalls", ExtAblationPf},
 		{"ext-scaling", "Self-check: quick vs full configuration shape stability", ExtScaling},

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The concurrent-stream experiment must serve every sweep point with
+// answers bit-identical to the serial engine, prime the plan cache so
+// multi-stream points hit it, and report the multi-tenant throughput
+// model. Q6 keeps the test fast; Q1 shares the implementation.
+func TestExtSQLConcurrentQ6(t *testing.T) {
+	f := ExtSQLConcurrentQ6(h(t))
+	if len(f.Series) != len(ConcurrentStreams) {
+		t.Fatalf("expected %d sweep points, got %d:\n%s", len(ConcurrentStreams), len(f.Series), f)
+	}
+	base := f.Series[0]
+	for _, s := range f.Series {
+		if !s.Result.Equal(base.Result) {
+			t.Errorf("%s: %v != %v", s.Label, s.Result, base.Result)
+		}
+		if s.Profile.Instructions == 0 {
+			t.Errorf("%s: no retired micro-ops", s.Label)
+		}
+	}
+	var identical, hits, modelled bool
+	for _, n := range f.Notes {
+		if strings.Contains(n, "bit-identical to serial: true") {
+			identical = true
+		}
+		if strings.Contains(n, "false") {
+			t.Errorf("note reports a mismatch: %s", n)
+		}
+		if strings.Contains(n, "plan-cache hit rate") {
+			hits = true
+			// Multi-stream sweep points run behind a warm plan: their
+			// hit rate must be positive (x1 includes the warm query too).
+			if strings.Contains(n, "0.00") {
+				t.Errorf("a sweep point never hit the plan cache: %s", n)
+			}
+		}
+		if strings.Contains(n, "modelled aggregate throughput") {
+			modelled = true
+		}
+	}
+	if !identical || !hits || !modelled {
+		t.Errorf("missing notes (identical=%v hits=%v modelled=%v):\n%s", identical, hits, modelled, strings.Join(f.Notes, "\n"))
+	}
+}

@@ -48,7 +48,8 @@ func TestExtSQLQueriesMatchHardcoded(t *testing.T) {
 // Lookup must resolve the new experiments and the facade count them.
 func TestExtSQLRegistered(t *testing.T) {
 	for _, id := range []string{"ext-sql-q1", "ext-sql-q6", "ext-sql-q3", "ext-sql-q18",
-		"ext-sql-q1-scaling", "ext-sql-q6-scaling"} {
+		"ext-sql-q1-scaling", "ext-sql-q6-scaling",
+		"ext-sql-concurrent-q1", "ext-sql-concurrent-q6"} {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("experiment %q is not registered", id)
 		}

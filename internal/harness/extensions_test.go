@@ -97,12 +97,13 @@ func TestFigureCSV(t *testing.T) {
 
 func TestAllExperimentsRegistry(t *testing.T) {
 	all := AllExperiments()
-	if len(all) != 45 {
-		t.Fatalf("expected 45 experiments, got %d", len(all))
+	if len(all) != 47 {
+		t.Fatalf("expected 47 experiments, got %d", len(all))
 	}
 	for _, id := range []string{"ext-groupby", "ext-sql-q1", "ext-sql-q6", "ext-sql-q3",
-		"ext-sql-q18", "ext-sql-q1-scaling",
-		"ext-sql-q6-scaling", "ext-ablation-mlp", "ext-ablation-pf", "ext-scaling"} {
+		"ext-sql-q18", "ext-sql-q1-scaling", "ext-sql-q6-scaling",
+		"ext-sql-concurrent-q1", "ext-sql-concurrent-q6",
+		"ext-ablation-mlp", "ext-ablation-pf", "ext-scaling"} {
 		if _, ok := Lookup(id); !ok {
 			t.Errorf("extension %s not in registry", id)
 		}

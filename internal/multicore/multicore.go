@@ -86,6 +86,93 @@ func SweepCounts(in tmam.Inputs, counts []int, opts Options) []Result {
 	return out
 }
 
+// ConcurrentResult describes S concurrent streams of one query
+// sharing a single socket — the multi-tenant extension of the
+// Section-10 model internal/server realizes.
+type ConcurrentResult struct {
+	// Streams and ThreadsPerQuery describe the offered load: S
+	// sequential query streams, each query executing on T workers.
+	Streams, ThreadsPerQuery int
+	// ActiveCores is min(S x T, pool): the cores actually streaming.
+	ActiveCores int
+	// PerThread is one worker's profile under the shared ceiling
+	// min(per-core BW, per-socket BW / ActiveCores).
+	PerThread tmam.Profile
+	// QuerySeconds is one query's parallel-phase span at that ceiling.
+	QuerySeconds float64
+	// QueriesPerSecond is the aggregate service rate: ActiveCores
+	// cores each deliver one query's worth of work every
+	// ThreadsPerQuery x QuerySeconds core-seconds.
+	QueriesPerSecond float64
+	// SocketBandwidthGBs is the aggregate DRAM traffic rate.
+	SocketBandwidthGBs float64
+}
+
+// Concurrent models S concurrent streams of the query behind a
+// single-core run's inputs, each query running with threads workers
+// on a pool of at most cores cores (0 means the socket's
+// hyper-threaded capacity). Busy cores share the socket: each one's
+// bandwidth ceiling is min(per-core BW, per-socket BW / busy), so
+// aggregate throughput grows with streams until either the pool or
+// the socket bandwidth saturates — the same knee the single-query
+// sweeps show, relocated from thread count to stream count.
+func Concurrent(in tmam.Inputs, streams, threads, cores int, opts Options) ConcurrentResult {
+	m := in.Machine
+	if streams < 1 {
+		streams = 1
+	}
+	if cores < 1 {
+		cores = 2 * m.CoresPerSocket
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > cores {
+		threads = cores
+	}
+	busy := streams * threads
+	if busy > cores {
+		busy = cores
+	}
+	per := in.ScaleCounts(float64(threads))
+	bwSeq := min(m.PerCoreBW.Sequential, m.PerSocketBW.Sequential/float64(busy))
+	bwRand := min(m.PerCoreBW.Random, m.PerSocketBW.Random/float64(busy))
+	if opts.HyperThreading {
+		bwSeq = min(bwSeq*m.HyperThreadBWx, m.PerSocketBW.Sequential/float64(busy))
+		bwRand = min(bwRand*m.HyperThreadBWx, m.PerSocketBW.Random/float64(busy))
+		boost := per.RandMLPBoost
+		if boost <= 0 {
+			boost = 1
+		}
+		per.RandMLPBoost = boost * m.HyperThreadBWx
+	}
+	prof := tmam.AccountInputs(per, tmam.Params{BWSeq: bwSeq, BWRand: bwRand})
+	r := ConcurrentResult{
+		Streams:            streams,
+		ThreadsPerQuery:    threads,
+		ActiveCores:        busy,
+		PerThread:          prof,
+		QuerySeconds:       prof.Seconds,
+		SocketBandwidthGBs: prof.BandwidthGBs * float64(busy),
+	}
+	if prof.Seconds > 0 {
+		// One query costs threads x QuerySeconds core-seconds; busy
+		// cores supply busy core-seconds per second.
+		r.QueriesPerSecond = float64(busy) / (float64(threads) * prof.Seconds)
+	}
+	return r
+}
+
+// ConcurrentSweep models each stream count — the ext-sql-concurrent
+// experiments sweep 1..8 streams.
+func ConcurrentSweep(in tmam.Inputs, streams []int, threads, cores int, opts Options) []ConcurrentResult {
+	out := make([]ConcurrentResult, 0, len(streams))
+	for _, s := range streams {
+		out = append(out, Concurrent(in, s, threads, cores, opts))
+	}
+	return out
+}
+
 // SaturationThreads returns the lowest swept thread count at which the
 // socket sequential bandwidth is ~saturated (>= frac of max), or -1.
 func SaturationThreads(results []Result, m *hw.Machine, frac float64) int {

@@ -100,3 +100,77 @@ func TestInvalidThreadCountClamped(t *testing.T) {
 		t.Fatalf("threads clamped to %d, want 1", r.Threads)
 	}
 }
+
+// Aggregate throughput under concurrent streams: more streams add
+// throughput until the socket bandwidth (for scans) or the core pool
+// caps it, and the per-query span only stretches, never shrinks.
+func TestConcurrentThroughput(t *testing.T) {
+	m := hw.Broadwell()
+	in := scanInputs(m)
+	streams := []int{1, 2, 4, 8}
+	res := ConcurrentSweep(in, streams, 2, 8, Options{})
+	if len(res) != len(streams) {
+		t.Fatalf("sweep length %d", len(res))
+	}
+	for i, r := range res {
+		if r.Streams != streams[i] || r.ThreadsPerQuery != 2 {
+			t.Fatalf("result %d misdescribes the load: %+v", i, r)
+		}
+		if want := min(streams[i]*2, 8); r.ActiveCores != want {
+			t.Fatalf("streams %d: active cores %d, want %d", streams[i], r.ActiveCores, want)
+		}
+		if r.QueriesPerSecond <= 0 || r.QuerySeconds <= 0 {
+			t.Fatalf("streams %d: degenerate rates %+v", streams[i], r)
+		}
+		if i > 0 {
+			if r.QueriesPerSecond < res[i-1].QueriesPerSecond*0.999 {
+				t.Errorf("throughput fell from %.1f to %.1f q/s at %d streams",
+					res[i-1].QueriesPerSecond, r.QueriesPerSecond, streams[i])
+			}
+			if r.QuerySeconds < res[i-1].QuerySeconds*0.999 {
+				t.Errorf("per-query span shrank under load at %d streams", streams[i])
+			}
+		}
+		if r.SocketBandwidthGBs > m.PerSocketBW.Sequential/hw.GB*1.001 {
+			t.Errorf("streams %d: aggregate bandwidth %.1f exceeds the socket ceiling", streams[i], r.SocketBandwidthGBs)
+		}
+	}
+	// A bandwidth-hungry scan must saturate: 8 streams on 8 cores gain
+	// far less than 8x over 1 stream on 2 cores.
+	if gain := res[3].QueriesPerSecond / res[0].QueriesPerSecond; gain > 6 {
+		t.Errorf("scan throughput gained %.1fx across 8 streams; the socket ceiling should bite", gain)
+	}
+}
+
+// The pool bound: once streams x threads exceeds the pool, extra
+// streams add queueing, not cores, and throughput is flat.
+func TestConcurrentPoolBound(t *testing.T) {
+	m := hw.Broadwell()
+	in := probeInputs(m)
+	at4 := Concurrent(in, 4, 2, 4, Options{})
+	at8 := Concurrent(in, 8, 2, 4, Options{})
+	if at4.ActiveCores != 4 || at8.ActiveCores != 4 {
+		t.Fatalf("pool bound ignored: %d / %d cores", at4.ActiveCores, at8.ActiveCores)
+	}
+	if at4.QueriesPerSecond != at8.QueriesPerSecond {
+		t.Errorf("throughput must be flat past pool saturation: %.2f vs %.2f",
+			at4.QueriesPerSecond, at8.QueriesPerSecond)
+	}
+}
+
+// Degenerate arguments clamp instead of dividing by zero.
+func TestConcurrentClamps(t *testing.T) {
+	m := hw.Broadwell()
+	r := Concurrent(scanInputs(m), 0, 0, 0, Options{})
+	if r.Streams != 1 || r.ThreadsPerQuery != 1 || r.ActiveCores != 1 {
+		t.Fatalf("clamping failed: %+v", r)
+	}
+	if r2 := Concurrent(scanInputs(m), 1, 64, 8, Options{}); r2.ThreadsPerQuery != 8 {
+		t.Fatalf("threads must clamp to the pool: %+v", r2)
+	}
+	// Hyper-threading keeps the socket ceiling.
+	ht := Concurrent(scanInputs(m), 8, 2, 28, Options{HyperThreading: true})
+	if ht.SocketBandwidthGBs > m.PerSocketBW.Sequential/hw.GB*1.001 {
+		t.Errorf("HT run exceeds the socket ceiling: %.1f", ht.SocketBandwidthGBs)
+	}
+}

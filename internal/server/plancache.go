@@ -1,0 +1,101 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"olapmicro/internal/sql"
+)
+
+// PlanKey is a statement's plan-cache identity: the normalized SQL
+// text plus everything else that changes the compiled artifact — the
+// engine the caller forces ("auto" when unset) and the per-query
+// worker count the plan's predictions and auto-selection were made
+// for. Queries differing only in whitespace, case or comments share a
+// key; queries differing in any literal, the forced engine or the
+// thread count do not.
+func PlanKey(text, engine string, threads int) string {
+	e := strings.ToLower(engine)
+	if e == "" {
+		e = "auto"
+	}
+	return sql.NormalizeSQL(text) + "\x00" + e + "\x00" + strconv.Itoa(threads)
+}
+
+// planCache is a thread-safe LRU of compiled statements. Compiled
+// plans are read-only after compilation (every execution binds a
+// fresh address space), so one cached plan may execute on any number
+// of in-flight queries at once.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type planEntry struct {
+	key string
+	c   *sql.Compiled
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan for key and promotes it to most
+// recently used.
+func (pc *planCache) get(key string) (*sql.Compiled, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.byKey[key]
+	if !ok {
+		pc.misses++
+		return nil, false
+	}
+	pc.hits++
+	pc.ll.MoveToFront(e)
+	return e.Value.(*planEntry).c, true
+}
+
+// put inserts (or refreshes) a plan and evicts from the LRU tail past
+// capacity. Two queries missing on the same key may both compile and
+// put — the second overwrites the first, the entry count never
+// exceeds capacity, and the duplicate work is bounded by the
+// in-flight limit.
+func (pc *planCache) put(key string, c *sql.Compiled) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.byKey[key]; ok {
+		e.Value.(*planEntry).c = c
+		pc.ll.MoveToFront(e)
+		return
+	}
+	pc.byKey[key] = pc.ll.PushFront(&planEntry{key: key, c: c})
+	for pc.ll.Len() > pc.cap {
+		tail := pc.ll.Back()
+		pc.ll.Remove(tail)
+		delete(pc.byKey, tail.Value.(*planEntry).key)
+		pc.evictions++
+	}
+}
+
+// len reports the current entry count.
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.ll.Len()
+}
+
+// counters snapshots the hit/miss/eviction totals.
+func (pc *planCache) counters() (hits, misses, evictions uint64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, pc.evictions
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"olapmicro/internal/sql"
+)
+
+// Keys must separate literals, engines and thread counts, and unify
+// textual variants.
+func TestPlanKey(t *testing.T) {
+	base := PlanKey("select count(*) from nation", "auto", 4)
+	same := []string{
+		"SELECT COUNT(*) FROM nation",
+		"select count(*)  from nation;",
+		"select count(*) -- c\nfrom nation",
+	}
+	for _, v := range same {
+		if PlanKey(v, "auto", 4) != base {
+			t.Errorf("variant %q must share the key", v)
+		}
+	}
+	if PlanKey("select count(*) from nation", "", 4) != base {
+		t.Error("empty engine must key as auto")
+	}
+	distinct := []string{
+		PlanKey("select count(*) from region", "auto", 4),
+		PlanKey("select count(*) from nation where n_nationkey >= 5", "auto", 4),
+		PlanKey("select count(*) from nation", "typer", 4),
+		PlanKey("select count(*) from nation", "tectorwise", 4),
+		PlanKey("select count(*) from nation", "auto", 8),
+	}
+	seen := map[string]bool{base: true}
+	for i, k := range distinct {
+		if seen[k] {
+			t.Errorf("distinct key %d collides", i)
+		}
+		seen[k] = true
+	}
+	// Queries differing only in a literal must never collide.
+	for v := 0; v < 100; v++ {
+		k := PlanKey(fmt.Sprintf("select count(*) from nation where n_nationkey < %d", v), "auto", 4)
+		if seen[k] {
+			t.Fatalf("literal %d collides with an earlier key", v)
+		}
+		seen[k] = true
+	}
+}
+
+// Eviction under capacity pressure: LRU order, capacity never
+// exceeded, eviction counter advances.
+func TestPlanCacheEviction(t *testing.T) {
+	pc := newPlanCache(2)
+	put := func(k string) { pc.put(k, &sql.Compiled{}) }
+	put("a")
+	put("b")
+	if _, ok := pc.get("a"); !ok { // promotes a over b
+		t.Fatal("a must be cached")
+	}
+	put("c") // evicts b, the least recently used
+	if pc.len() != 2 {
+		t.Fatalf("len %d, want 2", pc.len())
+	}
+	if _, ok := pc.get("b"); ok {
+		t.Error("b must have been evicted")
+	}
+	if _, ok := pc.get("a"); !ok {
+		t.Error("a must have survived")
+	}
+	if _, ok := pc.get("c"); !ok {
+		t.Error("c must be cached")
+	}
+	hits, misses, evictions := pc.counters()
+	if evictions != 1 {
+		t.Errorf("evictions %d, want 1", evictions)
+	}
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+	// Re-putting an existing key refreshes, never grows.
+	put("c")
+	if pc.len() != 2 {
+		t.Errorf("refresh grew the cache to %d", pc.len())
+	}
+}
+
+// Degenerate capacities clamp to one entry.
+func TestPlanCacheMinCapacity(t *testing.T) {
+	pc := newPlanCache(0)
+	pc.put("a", &sql.Compiled{})
+	pc.put("b", &sql.Compiled{})
+	if pc.len() != 1 {
+		t.Fatalf("len %d, want 1", pc.len())
+	}
+}
+
+// Concurrent readers and writers on overlapping keys: run under
+// -race; the invariant is the capacity bound and internal
+// consistency, exercised from many goroutines.
+func TestPlanCacheConcurrency(t *testing.T) {
+	pc := newPlanCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("q%d", (g+i)%16)
+				if _, ok := pc.get(k); !ok {
+					pc.put(k, &sql.Compiled{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if pc.len() > 8 {
+		t.Fatalf("capacity exceeded: %d", pc.len())
+	}
+	hits, misses, _ := pc.counters()
+	if hits+misses != 8*500 {
+		t.Errorf("lookups %d, want %d", hits+misses, 8*500)
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"olapmicro/internal/engine/parallel"
+	"olapmicro/internal/engine/relop"
+)
+
+// pool is the shared morsel worker pool every in-flight query's scan
+// phase runs on. It owns n long-lived goroutines, one per slot. An
+// admitted query contributes one share per query-thread: share i
+// drives the query's worker i over morsels i, i+T, i+2T, ... — the
+// exact partition a dedicated parallel.Run at T threads uses, so a
+// query's per-worker event streams (and therefore its results and
+// profiles) are identical however its morsels interleave with other
+// queries'. Each slot services its shares round-robin, one morsel per
+// turn, which is the per-query fairness guarantee: a slot shared by R
+// queries advances each of them at 1/R of its rate, it never drains
+// one query before starting the next.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	slots  [][]*share // per slot: active shares, serviced round-robin
+	rr     []int      // per slot: next share to service
+	place  int        // next slot for an arriving task's first share
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// poolTask is one query's scan phase: its morsels, its per-thread
+// workers, and the completion signal.
+type poolTask struct {
+	ctx     context.Context
+	morsels []parallel.Morsel
+	threads int // stride; == len(workers)
+	workers []relop.Worker
+
+	remaining int // shares not yet drained (guarded by pool.mu)
+	done      chan struct{}
+}
+
+// share is one (task, worker) pair assigned to one slot.
+type share struct {
+	t    *poolTask
+	w    relop.Worker
+	next int // next morsel index; advances by t.threads
+}
+
+func newPool(n int) *pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{
+		n:     n,
+		slots: make([][]*share, n),
+		rr:    make([]int, n),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for s := 0; s < n; s++ {
+		go p.worker(s)
+	}
+	return p
+}
+
+// enqueue registers a task's shares on consecutive slots (rotating
+// the starting slot across tasks so load spreads) and returns
+// immediately; t.done closes when every share has drained.
+func (p *pool) enqueue(t *poolTask) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t.remaining = len(t.workers)
+	base := p.place
+	p.place = (p.place + len(t.workers)) % p.n
+	for i, w := range t.workers {
+		s := (base + i) % p.n
+		p.slots[s] = append(p.slots[s], &share{t: t, w: w, next: i})
+	}
+	p.cond.Broadcast()
+}
+
+// worker is one slot's scheduling loop: pick the next share
+// round-robin, run one morsel of it (or drain it without running if
+// its query was canceled), retire drained shares, sleep when the slot
+// has none.
+func (p *pool) worker(s int) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if len(p.slots[s]) == 0 {
+			if p.closed {
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		if p.rr[s] >= len(p.slots[s]) {
+			p.rr[s] = 0
+		}
+		sh := p.slots[s][p.rr[s]]
+		run := -1
+		if sh.t.ctx.Err() == nil && sh.next < len(sh.t.morsels) {
+			run = sh.next
+			sh.next += sh.t.threads
+		} else {
+			// Canceled: skip the remaining morsels so the share (and
+			// with it the query) retires at the slot's next visit.
+			sh.next = len(sh.t.morsels)
+		}
+		last := sh.next >= len(sh.t.morsels)
+		if last {
+			p.slots[s] = append(p.slots[s][:p.rr[s]], p.slots[s][p.rr[s]+1:]...)
+		} else {
+			p.rr[s]++
+		}
+		if run >= 0 {
+			m := sh.t.morsels[run]
+			p.mu.Unlock()
+			sh.w.RunMorsel(m.Start, m.End)
+			p.mu.Lock()
+		}
+		// Retire after the morsel ran: done must not close while any
+		// worker of the task is still executing.
+		if last {
+			sh.t.remaining--
+			if sh.t.remaining == 0 {
+				close(sh.t.done)
+			}
+		}
+	}
+}
+
+// close drains every remaining share and stops the slot goroutines.
+// The server stops admitting queries before calling it, so remaining
+// shares belong to queries already being waited on.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,472 @@
+// Package server is the concurrent query service above internal/sql:
+// many in-flight SQL statements compile through the planner (an LRU
+// plan cache deduplicates identical plans), then share one
+// morsel-driven worker pool derived from internal/engine/parallel.
+// Admission control bounds both the executing and the waiting query
+// count, every query is cancelable through its context, and because
+// each query's morsels are partitioned exactly as a dedicated
+// parallel run would partition them, every result — and every
+// per-query micro-architectural profile — is bit-identical to the
+// serial engines no matter how many queries share the machine.
+// cmd/olapserve exposes the service over a line protocol; the
+// olapmicro facade exposes it as Server/QueryAsync.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/engine/parallel"
+	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/hw"
+	"olapmicro/internal/mem"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/sql"
+	"olapmicro/internal/tmam"
+	"olapmicro/internal/tpch"
+)
+
+// Sentinel errors of the admission path.
+var (
+	// ErrOverloaded rejects a submission when both the in-flight
+	// budget and the waiting queue are full.
+	ErrOverloaded = errors.New("server: overloaded: in-flight and queued budgets are full")
+	// ErrClosed rejects submissions to a closed server.
+	ErrClosed = errors.New("server: closed")
+)
+
+// Config tunes a Server. The zero value of any field selects its
+// default.
+type Config struct {
+	// Data and Machine are the database and the simulated server every
+	// query runs against; both are required.
+	Data    *tpch.Data
+	Machine *hw.Machine
+	// Workers is the shared morsel worker pool size (default 4),
+	// clamped to the machine's hyper-threaded single-socket capacity
+	// like any parallel run.
+	Workers int
+	// QueryThreads is one query's parallelism: its morsels are strided
+	// over this many pool slots (default Workers, clamped to Workers).
+	// A submission may override it per query.
+	QueryThreads int
+	// MaxInFlight bounds the queries admitted to execution at once
+	// (default 2 x Workers).
+	MaxInFlight int
+	// MaxQueue bounds the queries waiting for admission; a submission
+	// finding both budgets full is rejected with ErrOverloaded
+	// (default 4 x MaxInFlight).
+	MaxQueue int
+	// PlanCache is the LRU plan-cache capacity in entries (default 64).
+	PlanCache int
+	// Engine is the default execution engine: "auto" (the default),
+	// "typer" or "tectorwise". A submission may override it per query.
+	Engine string
+}
+
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Data == nil || c.Machine == nil {
+		return c, errors.New("server: Config.Data and Config.Machine are required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	c.Workers = parallel.ClampThreads(c.Machine, c.Workers)
+	if c.QueryThreads <= 0 || c.QueryThreads > c.Workers {
+		c.QueryThreads = c.Workers
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * c.Workers
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.PlanCache <= 0 {
+		c.PlanCache = 64
+	}
+	if c.Engine == "" {
+		c.Engine = "auto"
+	}
+	return c, nil
+}
+
+// Response is one finished statement.
+type Response struct {
+	// ID is the submission id Cancel and the protocol address.
+	ID uint64
+	// Engine is the engine the planner chose (or was forced to).
+	Engine string
+	// Explain is the rendered plan; non-empty only for EXPLAIN
+	// statements, which are planned but not executed.
+	Explain string
+	// Executed is false for EXPLAIN statements.
+	Executed bool
+	// Result is the comparable answer, bit-identical to a serial run.
+	Result engine.Result
+	// Profile is the slowest worker's profile under the shared-socket
+	// bandwidth ceiling, its Seconds widened to the whole simulated
+	// span (serial build + parallel scan + serial finalize) — the same
+	// convention the dedicated parallel executor reports.
+	Profile tmam.Profile
+	// Parallel is the full morsel-driven accounting (nil for EXPLAIN).
+	Parallel *parallel.Result
+	// Threads and Morsels describe the scan-phase shape.
+	Threads, Morsels int
+	// CacheHit reports whether the plan came from the plan cache.
+	CacheHit bool
+	// Queued is the host-clock admission wait; Wall the host-clock
+	// submit-to-finish latency.
+	Queued, Wall time.Duration
+}
+
+// Ticket is one in-flight submission: wait on Done (or Wait), cancel
+// with Cancel.
+type Ticket struct {
+	// ID addresses the submission in Cancel calls and stats.
+	ID uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	resp   *Response
+	err    error
+}
+
+// Done closes when the submission has finished (or failed).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the submission finishes or ctx expires.
+func (t *Ticket) Wait(ctx context.Context) (*Response, error) {
+	select {
+	case <-t.done:
+		return t.resp, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel asks the scheduler to abandon the submission: a queued query
+// never starts, a running one stops at its next morsel boundary. The
+// ticket then reports context.Canceled.
+func (t *Ticket) Cancel() { t.cancel() }
+
+// SubmitOption tunes one submission.
+type SubmitOption func(*submitConfig)
+
+type submitConfig struct {
+	engine  string
+	threads int
+}
+
+// WithEngine forces this submission's engine ("typer", "tectorwise"
+// or "auto"), overriding the server default.
+func WithEngine(name string) SubmitOption {
+	return func(c *submitConfig) { c.engine = name }
+}
+
+// WithThreads overrides the server's per-query parallelism for this
+// submission (clamped to [1, Workers]).
+func WithThreads(n int) SubmitOption {
+	return func(c *submitConfig) { c.threads = n }
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	// Submission outcomes. Submitted counts accepted submissions;
+	// Rejected the ErrOverloaded refusals (not included in Submitted).
+	Submitted, Completed, Failed, Canceled, Rejected uint64
+	// Instantaneous occupancy.
+	InFlight, Queued int
+	// Plan-cache counters.
+	PlanHits, PlanMisses, PlanEvictions uint64
+	PlanEntries, PlanCapacity           int
+	// Pool shape.
+	Workers, QueryThreads int
+}
+
+// PlanHitRate is hits / lookups (0 before the first lookup).
+func (s Stats) PlanHitRate() float64 {
+	total := s.PlanHits + s.PlanMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanHits) / float64(total)
+}
+
+// Server is the concurrent query service.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	plans *planCache
+
+	sem   chan struct{} // in-flight budget
+	queue chan struct{} // waiting budget
+
+	mu      sync.Mutex
+	closed  bool
+	pending map[uint64]*Ticket
+	wg      sync.WaitGroup
+
+	nextID                                           atomic.Uint64
+	submitted, completed, failed, canceled, rejected atomic.Uint64
+}
+
+// New starts a server: the worker pool spins up immediately and runs
+// until Close.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.Workers),
+		plans:   newPlanCache(cfg.PlanCache),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		queue:   make(chan struct{}, cfg.MaxQueue),
+		pending: make(map[uint64]*Ticket),
+	}, nil
+}
+
+// Config returns the resolved configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// QueryAsync submits one statement and returns immediately with its
+// ticket. The statement is admitted now (or parked in the bounded
+// wait queue); ErrOverloaded reports both budgets full, ErrClosed a
+// closed server.
+func (s *Server) QueryAsync(ctx context.Context, text string, opts ...SubmitOption) (*Ticket, error) {
+	var sc submitConfig
+	for _, o := range opts {
+		o(&sc)
+	}
+	if sc.engine == "" {
+		sc.engine = s.cfg.Engine
+	}
+	if sc.threads <= 0 {
+		sc.threads = s.cfg.QueryThreads
+	}
+	if sc.threads > s.cfg.Workers {
+		sc.threads = s.cfg.Workers
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Admission under the lock, so Close never races a late add.
+	admitted := false
+	select {
+	case s.sem <- struct{}{}:
+		admitted = true
+	default:
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			s.mu.Unlock()
+			s.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+	}
+	t := &Ticket{ID: s.nextID.Add(1), done: make(chan struct{})}
+	t.ctx, t.cancel = context.WithCancel(ctx)
+	s.pending[t.ID] = t
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+
+	go s.run(t, text, sc, admitted, time.Now())
+	return t, nil
+}
+
+// Submit is the synchronous form of QueryAsync.
+func (s *Server) Submit(ctx context.Context, text string, opts ...SubmitOption) (*Response, error) {
+	t, err := s.QueryAsync(ctx, text, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait(ctx)
+}
+
+// Cancel cancels a pending submission by id.
+func (s *Server) Cancel(id uint64) error {
+	s.mu.Lock()
+	t, ok := s.pending[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no pending query with id %d", id)
+	}
+	t.Cancel()
+	return nil
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	hits, misses, evictions := s.plans.counters()
+	return Stats{
+		Submitted:     s.submitted.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Canceled:      s.canceled.Load(),
+		Rejected:      s.rejected.Load(),
+		InFlight:      len(s.sem),
+		Queued:        len(s.queue),
+		PlanHits:      hits,
+		PlanMisses:    misses,
+		PlanEvictions: evictions,
+		PlanEntries:   s.plans.len(),
+		PlanCapacity:  s.cfg.PlanCache,
+		Workers:       s.cfg.Workers,
+		QueryThreads:  s.cfg.QueryThreads,
+	}
+}
+
+// Close stops admissions, waits for every pending query, and shuts
+// the pool down. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.wg.Wait()
+	s.pool.close()
+}
+
+// finish records a submission's outcome and releases its ticket.
+func (s *Server) finish(t *Ticket, resp *Response, err error) {
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.canceled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	t.resp, t.err = resp, err
+	s.mu.Lock()
+	delete(s.pending, t.ID)
+	s.mu.Unlock()
+	t.cancel() // release the context's resources
+	close(t.done)
+	s.wg.Done()
+}
+
+// run is one submission's lifecycle: wait for admission if queued,
+// execute, record the outcome.
+func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, submitted time.Time) {
+	if !admitted {
+		// The queue token is released only after the in-flight slot is
+		// taken, so a query counts against exactly one budget — except
+		// for the instant of the handoff, where it briefly counts
+		// against both and a racing submission may see the server
+		// fuller than it is. Admission errs on the side of shedding:
+		// the waiting bound is never exceeded.
+		select {
+		case s.sem <- struct{}{}:
+			<-s.queue
+		case <-t.ctx.Done():
+			<-s.queue
+			s.finish(t, nil, t.ctx.Err())
+			return
+		}
+	}
+	queued := time.Since(submitted)
+	if t.ctx.Err() != nil {
+		<-s.sem
+		s.finish(t, nil, t.ctx.Err())
+		return
+	}
+	resp, err := s.execute(t, text, sc)
+	if resp != nil {
+		resp.Queued = queued
+		resp.Wall = time.Since(submitted)
+	}
+	// Release the in-flight slot before finish closes the ticket, so
+	// a waiter that just observed completion never reads a stale
+	// Stats().InFlight.
+	<-s.sem
+	s.finish(t, resp, err)
+}
+
+// execute compiles (through the plan cache) and runs one statement on
+// the shared pool.
+func (s *Server) execute(t *Ticket, text string, sc submitConfig) (*Response, error) {
+	key := PlanKey(text, sc.engine, sc.threads)
+	c, hit := s.plans.get(key)
+	if !hit {
+		var err error
+		c, err = sql.Compile(s.cfg.Data, s.cfg.Machine, text, sql.Options{Engine: sc.engine, Threads: sc.threads})
+		if err != nil {
+			return nil, err
+		}
+		s.plans.put(key, c)
+	}
+	resp := &Response{ID: t.ID, Engine: c.Engine, CacheHit: hit}
+	if c.Stmt.Explain {
+		resp.Explain = c.Explain()
+		return resp, nil
+	}
+
+	// Build phase: hash-join builds run once, serially, on the query's
+	// own probe; workers then probe the shared fragment concurrently.
+	as := probe.NewAddrSpace()
+	buildProbe := probe.New(s.cfg.Machine, mem.AllPrefetchers())
+	prep, err := c.Prepare(buildProbe, as)
+	if err != nil {
+		return nil, err
+	}
+	// The same morsel partition and worker shape a dedicated
+	// parallel.Run at this thread count would build — the invariant
+	// behind every "bit-identical under concurrency" guarantee.
+	morsels := parallel.Morsels(prep.Rows(), 0, prep.MorselAlign(), sc.threads)
+	probes, workers := parallel.NewWorkers(s.cfg.Machine, mem.AllPrefetchers(), as, prep,
+		morsels, sc.threads, fmt.Sprintf("server.q%d.w", t.ID))
+	threads := len(workers)
+
+	if len(morsels) > 0 {
+		task := &poolTask{
+			ctx:     t.ctx,
+			morsels: morsels,
+			threads: threads,
+			workers: workers,
+			done:    make(chan struct{}),
+		}
+		s.pool.enqueue(task)
+		// The pool drains canceled tasks on its own (skipping their
+		// morsels), so done always closes; waiting on it alone keeps
+		// every worker's state quiescent before we read partials.
+		<-task.done
+	}
+	if err := t.ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	partials := make([]*relop.Partial, threads)
+	for i, w := range workers {
+		partials[i] = w.Partial()
+	}
+	merged := relop.FinalizeProbed(buildProbe, c.Pipeline, partials)
+	r := parallel.Assemble(s.cfg.Machine, buildProbe, probes, merged, len(morsels))
+
+	resp.Executed = true
+	resp.Result = r.Result
+	resp.Parallel = r
+	resp.Threads = r.Threads
+	resp.Morsels = r.Morsels
+	prof := r.PerThread
+	prof.Seconds = r.Seconds
+	prof.BandwidthGBs = r.SocketBandwidthGBs
+	prof.Instructions = r.Single.Instructions
+	resp.Profile = prof
+	return resp, nil
+}

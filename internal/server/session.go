@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Session runs the line-oriented text protocol cmd/olapserve speaks,
+// over stdin/stdout or one TCP connection:
+//
+//	submit <sql>    accept the statement; "ok id=N" now, one
+//	                "result id=N ..." line when it finishes (results
+//	                of concurrent submissions interleave freely)
+//	query <sql>     synchronous submit: block and print the result
+//	cancel <id>     cancel a pending submission
+//	stats           print the service counters
+//	wait            block until this session's submissions finish
+//	quit            wait, then exit (EOF does the same)
+//
+// Responses are single lines; EXPLAIN output spans several lines,
+// each prefixed "explain id=N |". Error lines start "error".
+type Session struct {
+	srv *Server
+	out *bufio.Writer
+
+	// ctx spans the session; a failed write (the peer hung up) cancels
+	// it, which cancels every query this session still has in flight —
+	// a dead client must not keep occupying the shared pool.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex // serializes writes; result lines come from many goroutines
+	pending sync.WaitGroup
+}
+
+// ServeSession speaks the protocol on r/w until quit or EOF; it
+// returns the reader's error, if any. Submissions it accepted are
+// waited for before it returns (canceled instead if the peer is
+// gone).
+func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
+	ses := &Session{srv: s, out: bufio.NewWriter(w)}
+	ses.ctx, ses.cancel = context.WithCancel(context.Background())
+	defer ses.cancel()
+	defer ses.pending.Wait()
+	in := bufio.NewScanner(r)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToLower(cmd) {
+		case "quit", "exit":
+			return nil
+		case "wait":
+			ses.pending.Wait()
+			ses.printf("ok drained")
+		case "stats":
+			ses.printStats()
+		case "cancel":
+			ses.cancelCmd(rest)
+		case "submit":
+			ses.submit(rest, false)
+		case "query":
+			ses.submit(rest, true)
+		default:
+			ses.printf("error unknown command %q (want submit, query, cancel, stats, wait, quit)", cmd)
+		}
+	}
+	return in.Err()
+}
+
+// printf writes one protocol line. A flush failure means the peer is
+// gone: cancel the session so its remaining queries stop at their
+// next morsel boundary instead of running for nobody.
+func (ses *Session) printf(format string, args ...any) {
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	fmt.Fprintf(ses.out, format+"\n", args...)
+	if ses.out.Flush() != nil {
+		ses.cancel()
+	}
+}
+
+// submit accepts one statement; blocking waits for the result line.
+func (ses *Session) submit(text string, blocking bool) {
+	if text == "" {
+		ses.printf("error submit wants a statement")
+		return
+	}
+	t, err := ses.srv.QueryAsync(ses.ctx, text)
+	if err != nil {
+		ses.printf("error %v", err)
+		return
+	}
+	if blocking {
+		ses.report(t)
+		return
+	}
+	ses.printf("ok id=%d", t.ID)
+	ses.pending.Add(1)
+	go func() {
+		defer ses.pending.Done()
+		ses.report(t)
+	}()
+}
+
+// report waits for a ticket and prints its result line(s).
+func (ses *Session) report(t *Ticket) {
+	resp, err := t.Wait(context.Background())
+	if err != nil {
+		ses.printf("result id=%d error %v", t.ID, err)
+		return
+	}
+	if !resp.Executed {
+		ses.mu.Lock()
+		defer ses.mu.Unlock()
+		fmt.Fprintf(ses.out, "result id=%d explain engine=%s cached=%v\n", resp.ID, resp.Engine, resp.CacheHit)
+		for _, line := range strings.Split(strings.TrimRight(resp.Explain, "\n"), "\n") {
+			fmt.Fprintf(ses.out, "explain id=%d | %s\n", resp.ID, line)
+		}
+		if ses.out.Flush() != nil {
+			ses.cancel()
+		}
+		return
+	}
+	ses.printf("result id=%d ok engine=%s sum=%d rows=%d check=%016x time=%.2fms threads=%d morsels=%d cached=%v queued=%s wall=%s",
+		resp.ID, resp.Engine, resp.Result.Sum, resp.Result.Rows, resp.Result.Check,
+		resp.Profile.Milliseconds(), resp.Threads, resp.Morsels, resp.CacheHit,
+		resp.Queued.Round(roundTo(resp.Queued)), resp.Wall.Round(roundTo(resp.Wall)))
+}
+
+// roundTo keeps printed durations to three significant-ish digits.
+func roundTo(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return 10 * time.Millisecond
+	case d > time.Millisecond:
+		return 10 * time.Microsecond
+	default:
+		return 100 * time.Nanosecond
+	}
+}
+
+// cancelCmd parses and applies one cancel command.
+func (ses *Session) cancelCmd(arg string) {
+	id, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		ses.printf("error cancel wants a numeric id, got %q", arg)
+		return
+	}
+	if err := ses.srv.Cancel(id); err != nil {
+		ses.printf("error %v", err)
+		return
+	}
+	ses.printf("ok id=%d canceling", id)
+}
+
+// printStats prints one stats line.
+func (ses *Session) printStats() {
+	st := ses.srv.Stats()
+	ses.printf("stats inflight=%d queued=%d submitted=%d completed=%d failed=%d canceled=%d rejected=%d "+
+		"plan-hits=%d plan-misses=%d plan-evictions=%d plan-entries=%d/%d hit-rate=%.2f workers=%d query-threads=%d",
+		st.InFlight, st.Queued, st.Submitted, st.Completed, st.Failed, st.Canceled, st.Rejected,
+		st.PlanHits, st.PlanMisses, st.PlanEvictions, st.PlanEntries, st.PlanCapacity,
+		st.PlanHitRate(), st.Workers, st.QueryThreads)
+}

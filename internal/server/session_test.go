@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// serve runs one scripted session and returns its output.
+func serve(t *testing.T, s *Server, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := s.ServeSession(strings.NewReader(script), &out); err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	return out.String()
+}
+
+func TestSessionSubmitAndStats(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	out := serve(t, s, strings.Join([]string{
+		"submit select count(*) from nation",
+		"query select count(*) from nation",
+		"wait",
+		"stats",
+		"quit",
+	}, "\n"))
+	if !regexp.MustCompile(`(?m)^ok id=1$`).MatchString(out) {
+		t.Errorf("missing submit ack:\n%s", out)
+	}
+	res := regexp.MustCompile(`(?m)^result id=\d+ ok engine=\w+ sum=\d+ rows=1 check=[0-9a-f]{16} time=.*cached=(true|false)`)
+	if got := len(res.FindAllString(out, -1)); got != 2 {
+		t.Errorf("want 2 result lines, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "ok drained") {
+		t.Errorf("wait must ack:\n%s", out)
+	}
+	if !regexp.MustCompile(`stats inflight=0 queued=0 submitted=2 completed=2 .*plan-hits=1 `).MatchString(out) {
+		t.Errorf("stats line wrong:\n%s", out)
+	}
+}
+
+func TestSessionExplain(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	out := serve(t, s, "query explain select count(*) from nation\nquit\n")
+	if !strings.Contains(out, "result id=1 explain engine=") {
+		t.Errorf("missing explain header:\n%s", out)
+	}
+	if !strings.Contains(out, "explain id=1 | ") || !strings.Contains(out, "scan nation") {
+		t.Errorf("missing explain body:\n%s", out)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	out := serve(t, s, strings.Join([]string{
+		"bogus",
+		"submit",
+		"cancel notanumber",
+		"cancel 99",
+		"query select broken from nowhere",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		`error unknown command "bogus"`,
+		"error submit wants a statement",
+		`error cancel wants a numeric id`,
+		"error server: no pending query with id 99",
+		"result id=1 error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSessionCancelPath(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	// Submit, then cancel the id; the query may win the race, so accept
+	// either a result or a canceled error line for id 1 — but the
+	// cancel command itself must ack.
+	out := serve(t, s, strings.Join([]string{
+		"submit select sum(l_extendedprice) from lineitem",
+		"cancel 1",
+		"wait",
+		"quit",
+	}, "\n"))
+	if !strings.Contains(out, "ok id=1 canceling") && !strings.Contains(out, "error server: no pending query with id 1") {
+		t.Errorf("cancel must ack or report the query already done:\n%s", out)
+	}
+	if !regexp.MustCompile(`(?m)^result id=1 `).MatchString(out) {
+		t.Errorf("id 1 must still produce a result line:\n%s", out)
+	}
+}
+
+// brokenWriter fails every write — a peer that hung up.
+type brokenWriter struct{}
+
+func (brokenWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("peer gone")
+}
+
+// A dead peer must not keep the session's queries running: the first
+// failed write cancels the session context, so pending submissions
+// stop (as canceled or completed) and ServeSession returns instead of
+// serving nobody.
+func TestSessionDeadPeerCancels(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	script := strings.Join([]string{
+		"submit select sum(l_extendedprice) from lineitem",
+		"submit select sum(l_quantity) from lineitem",
+		"wait",
+		"quit",
+	}, "\n")
+	if err := s.ServeSession(strings.NewReader(script), brokenWriter{}); err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	st := s.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("dead session left work behind: %+v", st)
+	}
+	if st.Completed+st.Canceled != st.Submitted {
+		t.Errorf("submissions unaccounted for: %+v", st)
+	}
+}

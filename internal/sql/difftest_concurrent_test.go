@@ -1,0 +1,104 @@
+// The concurrency mode of the randomized differential tester: the
+// same generated corpus runs through the multi-query server at 2, 4
+// and 8 concurrent streams, and every result must be bit-identical to
+// the serial engine's. This file is in the external sql_test package
+// because it imports internal/server, which imports internal/sql; the
+// corpus hooks come from export_difftest_test.go.
+package sql_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/server"
+	"olapmicro/internal/sql"
+)
+
+// TestDifferentialConcurrentStreams cross-checks the concurrent
+// scheduler against the serial executor over the whole corpus. A
+// mismatch fails with the reproducing SQL text, the base seed, the
+// query index and the stream count. Every stream count runs under
+// -short too (only the corpus shrinks), so the CI -race smoke covers
+// the full-pool 8-stream contention case, not just light load.
+func TestDifferentialConcurrentStreams(t *testing.T) {
+	d, m := sql.DiffDB()
+	seed, n := sql.DiffSeedN(t)
+	streamCounts := []int{1, 2, 4, 8}
+
+	// Serial references once, reused by every stream count.
+	type entry struct {
+		sql string
+		res engine.Result
+	}
+	corpus := make([]entry, n)
+	for i := range corpus {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		q := sql.GenDiffQuery(d, r)
+		_, a, err := sql.Run(d, m, q, sql.Options{Engine: "typer"})
+		if err != nil {
+			t.Fatalf("seed %d query %d:\n  %s\n  serial typer: %v", seed, i, q, err)
+		}
+		corpus[i] = entry{sql: q, res: a.Result}
+	}
+
+	for _, streams := range streamCounts {
+		streams := streams
+		t.Run(fmt.Sprintf("streams=%d", streams), func(t *testing.T) {
+			srv, err := server.New(server.Config{
+				Data: d, Machine: m,
+				Workers: 4, QueryThreads: 2,
+				MaxInFlight: streams, MaxQueue: streams,
+				PlanCache: 32,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			var (
+				wg   sync.WaitGroup
+				mu   sync.Mutex
+				errs []string
+			)
+			fail := func(i int, format string, args ...any) {
+				mu.Lock()
+				defer mu.Unlock()
+				errs = append(errs, fmt.Sprintf("streams %d seed %d query %d:\n  %s\n  %s",
+					streams, seed, i, corpus[i].sql, fmt.Sprintf(format, args...)))
+			}
+			for s := 0; s < streams; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := s; i < len(corpus); i += streams {
+						// Alternate the engine per query so both run
+						// under concurrency.
+						eng := "typer"
+						if i%2 == 1 {
+							eng = "tectorwise"
+						}
+						resp, err := srv.Submit(context.Background(), corpus[i].sql, server.WithEngine(eng))
+						if err != nil {
+							fail(i, "server on %s: %v", eng, err)
+							continue
+						}
+						if !resp.Result.Equal(corpus[i].res) {
+							fail(i, "server on %s disagrees: %v != serial %v", eng, resp.Result, corpus[i].res)
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			for _, e := range errs {
+				t.Error(e)
+			}
+			st := srv.Stats()
+			if got := int(st.Completed + st.Failed); got != len(corpus) {
+				t.Errorf("streams %d: served %d of %d corpus queries", streams, got, len(corpus))
+			}
+		})
+	}
+}

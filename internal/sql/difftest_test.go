@@ -294,10 +294,12 @@ func genQuery(d *tpch.Data, r *rand.Rand) diffQuery {
 	return diffQuery{sql: b.String()}
 }
 
-// TestDifferentialRandomQueries is the randomized cross-engine,
-// cross-executor differential suite.
-func TestDifferentialRandomQueries(t *testing.T) {
-	d, m := diffDB()
+// diffSeedN resolves the corpus seed and size: the defaults (trimmed
+// under -short), overridden by SQL_DIFFTEST_SEED / SQL_DIFFTEST_N.
+// The concurrency-mode tester uses the same resolution, so one
+// environment override steers both suites to one corpus.
+func diffSeedN(t *testing.T) (int64, int) {
+	t.Helper()
 	seed := int64(diffDefaultSeed)
 	if s := os.Getenv("SQL_DIFFTEST_SEED"); s != "" {
 		v, err := strconv.ParseInt(s, 10, 64)
@@ -317,6 +319,14 @@ func TestDifferentialRandomQueries(t *testing.T) {
 		}
 		n = v
 	}
+	return seed, n
+}
+
+// TestDifferentialRandomQueries is the randomized cross-engine,
+// cross-executor differential suite.
+func TestDifferentialRandomQueries(t *testing.T) {
+	d, m := diffDB()
+	seed, n := diffSeedN(t)
 
 	for i := 0; i < n; i++ {
 		// Each query draws from its own stream, so query i reproduces

@@ -1,0 +1,25 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"olapmicro/internal/hw"
+	"olapmicro/internal/tpch"
+)
+
+// Test-only exports for the concurrency differential tester
+// (difftest_concurrent_test.go): it pushes the same randomized corpus
+// through internal/server — which imports this package — so it must
+// live in the external sql_test package and reach the generator and
+// corpus controls through these hooks.
+
+// DiffDB returns the shared differential-test database and machine.
+func DiffDB() (*tpch.Data, *hw.Machine) { return diffDB() }
+
+// DiffSeedN resolves the corpus seed and size, honoring the
+// SQL_DIFFTEST_SEED / SQL_DIFFTEST_N overrides and -short.
+func DiffSeedN(t *testing.T) (int64, int) { return diffSeedN(t) }
+
+// GenDiffQuery generates corpus query text from one query's stream.
+func GenDiffQuery(d *tpch.Data, r *rand.Rand) string { return genQuery(d, r).sql }

@@ -1,0 +1,39 @@
+package sql
+
+import "strings"
+
+// NormalizeSQL renders a statement as its canonical token spelling:
+// comments stripped, whitespace collapsed to single spaces, keywords
+// and identifiers lowercased, literals kept verbatim, and trailing
+// semicolons dropped. Textual variants of one query — case, layout,
+// comments — normalize to the same string, while queries differing in
+// any literal, column or clause stay distinct; internal/server keys
+// its plan cache on this. Text the lexer rejects normalizes to its
+// trimmed self, so the later parse failure (not the cache) reports
+// the error.
+func NormalizeSQL(text string) string {
+	toks, err := lexAll(text)
+	if err != nil {
+		return strings.TrimSpace(text)
+	}
+	var b strings.Builder
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind == tokSymbol && t.text == ";" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if t.kind == tokString {
+			b.WriteByte('\'')
+			b.WriteString(t.text)
+			b.WriteByte('\'')
+			continue
+		}
+		b.WriteString(t.text)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package sql
+
+import (
+	"testing"
+
+	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/mem"
+	"olapmicro/internal/probe"
+)
+
+func TestNormalizeSQL(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b string
+		same bool
+	}{
+		{"whitespace", "select  count(*)\n\tfrom lineitem", "select count(*) from lineitem", true},
+		{"case", "SELECT COUNT(*) FROM Lineitem", "select count(*) from lineitem", true},
+		{"comment", "select count(*) -- note\nfrom lineitem", "select count(*) from lineitem", true},
+		{"trailing semicolon", "select count(*) from lineitem;", "select count(*) from lineitem", true},
+		{"literal differs", "select sum(l_quantity + 1) from lineitem", "select sum(l_quantity + 2) from lineitem", false},
+		{"string literal differs", "select count(*) from lineitem where l_shipdate < date '1994-01-01'",
+			"select count(*) from lineitem where l_shipdate < date '1995-01-01'", false},
+		{"column differs", "select sum(l_tax) from lineitem", "select sum(l_discount) from lineitem", false},
+		{"string case preserved", "select count(*) from lineitem where l_shipdate < date '1994-01-01'",
+			"select count(*) from lineitem where l_shipdate < DATE '1994-01-01'", true},
+	} {
+		na, nb := NormalizeSQL(tc.a), NormalizeSQL(tc.b)
+		if (na == nb) != tc.same {
+			t.Errorf("%s: NormalizeSQL(%q) = %q, NormalizeSQL(%q) = %q, want same=%v",
+				tc.name, tc.a, na, tc.b, nb, tc.same)
+		}
+	}
+}
+
+// Unlexable text must still give a usable (trimmed, distinct) key.
+func TestNormalizeSQLUnlexable(t *testing.T) {
+	if got := NormalizeSQL("  select $bad  "); got != "select $bad" {
+		t.Errorf("unlexable text should normalize to its trimmed self, got %q", got)
+	}
+}
+
+// Prepare must run the build phase and hand back a fragment whose
+// worker reproduces the serial result — the seam the concurrent
+// server schedules through.
+func TestCompiledPrepare(t *testing.T) {
+	d, m := diffDB()
+	c, err := Compile(d, m, "select sum(l_quantity) from lineitem where l_discount < 5", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := probe.NewAddrSpace()
+	bp := probe.New(m, mem.AllPrefetchers())
+	prep, err := c.Prepare(bp, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := prep.NewWorker(probe.New(m, mem.AllPrefetchers()), as.Fork("test.worker", 1<<36))
+	align := prep.MorselAlign()
+	step := 4096
+	if r := step % align; r != 0 {
+		step += align - r
+	}
+	for start := 0; start < prep.Rows(); start += step {
+		end := start + step
+		if end > prep.Rows() {
+			end = prep.Rows()
+		}
+		w.RunMorsel(start, end)
+	}
+	res := relop.FinalizeProbed(bp, c.Pipeline, []*relop.Partial{w.Partial()})
+	if !res.Equal(a.Result) {
+		t.Fatalf("Prepare-driven run %v != Execute %v", res, a.Result)
+	}
+}

@@ -171,6 +171,19 @@ func (c *Compiled) executor(as *probe.AddrSpace) (pipelineEngine, error) {
 	return nil, fmt.Errorf("engine %q cannot execute SQL pipelines; force typer or tectorwise", c.Engine)
 }
 
+// Prepare instantiates the chosen engine against as and runs the
+// pipeline's build phase on p, returning the read-only plan fragment
+// any number of workers may probe concurrently. ExecuteThreads owns
+// its workers end to end; internal/server drives its shared worker
+// pool through this hook instead, scheduling the morsels itself.
+func (c *Compiled) Prepare(p *probe.Probe, as *probe.AddrSpace) (relop.Prepared, error) {
+	ex, err := c.executor(as)
+	if err != nil {
+		return nil, err
+	}
+	return ex.PreparePipeline(p, as, c.Pipeline)
+}
+
 // Execute runs the pipeline on the chosen engine at the compilation's
 // thread count, measuring the run like the harness measures the
 // hardcoded workloads.

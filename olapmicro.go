@@ -33,20 +33,31 @@
 //     cost-based engine selection with predicted top-down breakdowns,
 //     and the executor dispatch (cmd/olapsql is the interactive
 //     shell);
+//   - internal/server: the concurrent query service — many in-flight
+//     statements share one morsel worker pool with per-query fair
+//     round-robin dispatch, an LRU plan cache deduplicates identical
+//     plans, admission control bounds the load, and every answer
+//     stays bit-identical to a dedicated serial run (cmd/olapserve
+//     is the line-protocol server; Server/QueryAsync the facade);
 //   - internal/harness: one runnable experiment per paper figure,
 //     table and in-text claim, plus ext-* extensions — including
 //     ext-sql-q1/ext-sql-q6, which profile SQL-planned queries against
 //     their hardcoded twins.
 //
 // This file is the stable facade: enumerate and run experiments by id,
-// or run ad-hoc SQL with Query.
+// run ad-hoc SQL with Query, or serve concurrent SQL with NewServer
+// and QueryAsync.
 package olapmicro
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"olapmicro/internal/harness"
+	"olapmicro/internal/server"
 	"olapmicro/internal/sql"
 )
 
@@ -148,6 +159,32 @@ type QueryOutput struct {
 	Threads            int
 	SocketBandwidthGBs float64
 	SpeedupX           float64
+	// CacheHit reports whether a Server answered from its plan cache;
+	// always false for direct Query calls, which do not cache.
+	CacheHit bool
+	// QueuedMs and WallMs are a Server's host-clock admission wait and
+	// submit-to-finish latency; zero for direct Query calls.
+	QueuedMs, WallMs float64
+}
+
+// validate rejects option combinations the compiler would otherwise
+// mask or silently reinterpret: a negative worker count, and a forced
+// engine that cannot execute morsel-driven pipelines combined with
+// QueryParallel — without the check the engine error alone would hide
+// that the thread count was also being ignored.
+func (c queryConfig) validate() error {
+	if c.threads < 0 {
+		return fmt.Errorf("olapmicro: QueryParallel(%d): worker count cannot be negative (0 or 1 run the serial executor)", c.threads)
+	}
+	switch strings.ToLower(c.engine) {
+	case "", "auto", "typer", "tectorwise":
+		return nil
+	}
+	if c.threads > 1 {
+		return fmt.Errorf("olapmicro: QueryEngine(%q) with QueryParallel(%d): engine %q cannot execute morsel-driven parallel pipelines; use typer, tectorwise or auto",
+			c.engine, c.threads, c.engine)
+	}
+	return nil // the compiler reports the unknown engine with its accepted values
 }
 
 // Query compiles and runs one ad-hoc SQL statement over the generated
@@ -159,6 +196,9 @@ func Query(text string, opts ...QueryOption) (*QueryOutput, error) {
 	var cfg queryConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	h := sharedHarness(cfg.quick)
 	c, a, err := sql.Run(h.Data, h.Cfg.Machine, text, sql.Options{Engine: cfg.engine, Threads: cfg.threads})
@@ -180,4 +220,160 @@ func Query(text string, opts ...QueryOption) (*QueryOutput, error) {
 		}
 	}
 	return out, nil
+}
+
+// ServerOption tunes NewServer.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	quick bool
+	cfg   server.Config
+}
+
+// ServerQuick serves the miniaturized configuration (the same scaling
+// Run's quick mode uses).
+func ServerQuick() ServerOption { return func(c *serverConfig) { c.quick = true } }
+
+// ServerWorkers sets the shared morsel worker pool size.
+func ServerWorkers(n int) ServerOption { return func(c *serverConfig) { c.cfg.Workers = n } }
+
+// ServerQueryThreads sets one query's parallelism on the shared pool.
+func ServerQueryThreads(n int) ServerOption {
+	return func(c *serverConfig) { c.cfg.QueryThreads = n }
+}
+
+// ServerAdmission bounds the executing and waiting query counts; a
+// submission finding both budgets full is rejected.
+func ServerAdmission(inFlight, queued int) ServerOption {
+	return func(c *serverConfig) { c.cfg.MaxInFlight, c.cfg.MaxQueue = inFlight, queued }
+}
+
+// ServerPlanCache sets the LRU plan-cache capacity in entries.
+func ServerPlanCache(n int) ServerOption { return func(c *serverConfig) { c.cfg.PlanCache = n } }
+
+// ServerEngine sets the default execution engine ("auto", "typer" or
+// "tectorwise"); individual queries cannot override it through the
+// facade, force an engine per server instead.
+func ServerEngine(name string) ServerOption { return func(c *serverConfig) { c.cfg.Engine = name } }
+
+// ServerStats snapshots a Server's counters.
+type ServerStats struct {
+	// Submission outcomes: accepted, finished, errored, canceled, and
+	// refused-at-admission counts.
+	Submitted, Completed, Failed, Canceled, Rejected uint64
+	// Instantaneous occupancy: executing and waiting queries.
+	InFlight, Queued int
+	// Plan-cache counters and occupancy.
+	PlanHits, PlanMisses, PlanEvictions uint64
+	PlanEntries, PlanCapacity           int
+	// Pool shape: slot count and per-query parallelism.
+	Workers, QueryThreads int
+}
+
+// PlanHitRate is plan-cache hits / lookups (0 before the first).
+func (s ServerStats) PlanHitRate() float64 {
+	if s.PlanHits+s.PlanMisses == 0 {
+		return 0
+	}
+	return float64(s.PlanHits) / float64(s.PlanHits+s.PlanMisses)
+}
+
+// Server is the concurrent query service: many in-flight SQL
+// statements share one morsel-driven worker pool, identical
+// statements share one cached plan, and every answer stays
+// bit-identical to a dedicated serial run. Close it when done.
+type Server struct {
+	inner *server.Server
+}
+
+// NewServer starts a query server over the shared harness database
+// (generated on first use, like Run and Query).
+func NewServer(opts ...ServerOption) (*Server, error) {
+	var c serverConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	h := sharedHarness(c.quick)
+	c.cfg.Data, c.cfg.Machine = h.Data, h.Cfg.Machine
+	inner, err := server.New(c.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("olapmicro: %w", err)
+	}
+	return &Server{inner: inner}, nil
+}
+
+// PendingQuery is one asynchronous submission.
+type PendingQuery struct {
+	t *server.Ticket
+}
+
+// ID is the submission id (also the protocol id in cmd/olapserve).
+func (p *PendingQuery) ID() uint64 { return p.t.ID }
+
+// Cancel abandons the submission: a queued query never starts, a
+// running one stops at its next morsel boundary.
+func (p *PendingQuery) Cancel() { p.t.Cancel() }
+
+// Wait blocks until the query finishes (or ctx expires) and returns
+// its output.
+func (p *PendingQuery) Wait(ctx context.Context) (*QueryOutput, error) {
+	resp, err := p.t.Wait(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("olapmicro: %w", err)
+	}
+	return outputFromResponse(resp), nil
+}
+
+// QueryAsync submits one statement for concurrent execution and
+// returns immediately; an error reports admission refusal
+// (overloaded or closed), not statement failure, which Wait carries.
+func (s *Server) QueryAsync(ctx context.Context, text string) (*PendingQuery, error) {
+	t, err := s.inner.QueryAsync(ctx, text)
+	if err != nil {
+		return nil, fmt.Errorf("olapmicro: %w", err)
+	}
+	return &PendingQuery{t: t}, nil
+}
+
+// Query is the synchronous form of QueryAsync.
+func (s *Server) Query(ctx context.Context, text string) (*QueryOutput, error) {
+	p, err := s.QueryAsync(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait(ctx)
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats(s.inner.Stats())
+}
+
+// Close stops admissions, drains pending queries, and shuts the
+// worker pool down.
+func (s *Server) Close() { s.inner.Close() }
+
+// outputFromResponse maps a service response onto the facade output.
+func outputFromResponse(r *server.Response) *QueryOutput {
+	out := &QueryOutput{
+		Engine:   r.Engine,
+		Explain:  r.Explain,
+		CacheHit: r.CacheHit,
+		QueuedMs: float64(r.Queued) / float64(time.Millisecond),
+		WallMs:   float64(r.Wall) / float64(time.Millisecond),
+	}
+	if r.Executed {
+		out.Executed = true
+		out.Sum = r.Result.Sum
+		out.Rows = r.Result.Rows
+		out.Check = r.Result.Check
+		out.TimeMs = r.Profile.Milliseconds()
+		out.Breakdown = r.Profile.Breakdown.String()
+		out.Threads = r.Threads
+		if r.Parallel != nil {
+			out.SocketBandwidthGBs = r.Parallel.SocketBandwidthGBs
+			out.SpeedupX = r.Parallel.Speedup
+		}
+	}
+	return out
 }

@@ -1,14 +1,15 @@
 package olapmicro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 45 { // table1 + fig1..30 + 4 text claims + 10 extensions
-		t.Fatalf("expected 45 experiments, got %d", len(ids))
+	if len(ids) != 47 { // table1 + fig1..30 + 4 text claims + 12 extensions
+		t.Fatalf("expected 47 experiments, got %d", len(ids))
 	}
 	if ids[0] != "table1" || ids[1] != "fig1" {
 		t.Fatalf("unexpected ordering: %v", ids[:2])
@@ -67,5 +68,102 @@ func TestRunTable1Quick(t *testing.T) {
 	}
 	if !strings.Contains(out, "per-core bandwidth") {
 		t.Fatalf("table1 output incomplete:\n%s", out)
+	}
+}
+
+// Regression: QueryEngine combined with QueryParallel must validate
+// instead of silently dropping the thread count on engines that
+// cannot run parallel pipelines, and negative counts must be
+// descriptive errors rather than silent serial runs.
+func TestQueryOptionValidation(t *testing.T) {
+	_, err := Query("select count(*) from nation",
+		QueryQuick(), QueryEngine("dbms r"), QueryParallel(8))
+	if err == nil {
+		t.Fatal("forced non-executable engine with QueryParallel must error")
+	}
+	for _, want := range []string{"dbms r", "QueryParallel(8)", "typer"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q must mention %q", err, want)
+		}
+	}
+	if _, err := Query("select count(*) from nation", QueryQuick(), QueryParallel(-2)); err == nil ||
+		!strings.Contains(err.Error(), "QueryParallel(-2)") {
+		t.Fatalf("negative worker count must be a descriptive error, got %v", err)
+	}
+	// The valid combination still runs in parallel.
+	out, err := Query("select sum(l_quantity) from lineitem",
+		QueryQuick(), QueryEngine("tectorwise"), QueryParallel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Engine != "Tectorwise" || out.Threads != 4 || out.SpeedupX <= 1 {
+		t.Fatalf("forced parallel run misreported: %+v", out)
+	}
+}
+
+// The server facade: concurrent submissions answer identically to
+// direct queries, repeats hit the plan cache, and stats reconcile.
+func TestServerFacade(t *testing.T) {
+	s, err := NewServer(ServerQuick(), ServerWorkers(2), ServerPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	const q = "select count(*) from orders"
+	direct, err := Query(q, QueryQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One synchronous query primes the plan cache, so the concurrent
+	// submissions below must all hit it (concurrent first-misses on one
+	// key may each compile — see planCache.put).
+	if _, err := s.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	var pending []*PendingQuery
+	for i := 0; i < 3; i++ {
+		p, err := s.QueryAsync(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID() == 0 {
+			t.Fatal("submissions must carry ids")
+		}
+		pending = append(pending, p)
+	}
+	for _, p := range pending {
+		out, err := p.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Sum != direct.Sum || out.Rows != direct.Rows || out.Check != direct.Check {
+			t.Fatalf("server answer %+v != direct %+v", out, direct)
+		}
+		if !out.CacheHit {
+			t.Error("submission behind a primed plan cache must hit it")
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 4 || st.PlanHitRate() <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	// EXPLAIN through the server plans without executing.
+	exp, err := s.Query(ctx, "explain select count(*) from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Executed || !strings.Contains(exp.Explain, "scan orders") {
+		t.Fatalf("server EXPLAIN wrong: %+v", exp)
+	}
+	// Cancellation surfaces as an error from Wait.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	p, err := s.QueryAsync(cctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(ctx); err == nil {
+		t.Fatal("canceled submission must error")
 	}
 }
