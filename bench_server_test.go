@@ -53,13 +53,23 @@ var serverBenchWorkload = []string{
 	"select c_nationkey, count(*) from customer group by c_nationkey order by c_nationkey limit 5",
 }
 
-// streamPoint is one measured sweep point of the baseline file.
+// streamPoint is one measured sweep point of the baseline file. The
+// percentiles come from the server's own latency histograms (the obs
+// layer feeding /metrics), so the baseline records what a scrape
+// would report: wall = submit-to-finish, queue = admission wait,
+// both host-clock milliseconds.
 type streamPoint struct {
 	Streams     int     `json:"streams"`
 	Queries     int     `json:"queries"`
 	WallQPS     float64 `json:"wall_qps"`
 	SimMsMean   float64 `json:"sim_ms_per_query"`
 	PlanHitRate float64 `json:"plan_hit_rate"`
+	WallP50Ms   float64 `json:"wall_p50_ms"`
+	WallP95Ms   float64 `json:"wall_p95_ms"`
+	WallP99Ms   float64 `json:"wall_p99_ms"`
+	QueueP50Ms  float64 `json:"queue_p50_ms"`
+	QueueP95Ms  float64 `json:"queue_p95_ms"`
+	QueueP99Ms  float64 `json:"queue_p99_ms"`
 }
 
 // benchBaseline is the BENCH_server.json document.
@@ -123,10 +133,17 @@ func runServerWorkload(tb testing.TB, streams, reps int) streamPoint {
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 	st := srv.Stats()
+	tel := srv.Telemetry()
 	p := streamPoint{
 		Streams:     streams,
 		Queries:     served,
 		PlanHitRate: st.PlanHitRate(),
+		WallP50Ms:   tel.WallMs.Quantile(0.50),
+		WallP95Ms:   tel.WallMs.Quantile(0.95),
+		WallP99Ms:   tel.WallMs.Quantile(0.99),
+		QueueP50Ms:  tel.QueueMs.Quantile(0.50),
+		QueueP95Ms:  tel.QueueMs.Quantile(0.95),
+		QueueP99Ms:  tel.QueueMs.Quantile(0.99),
 	}
 	if wall > 0 {
 		p.WallQPS = float64(served) / wall
@@ -143,7 +160,7 @@ func writeServerBaseline(tb testing.TB, reps int) benchBaseline {
 	tb.Helper()
 	_, m := benchServerDB()
 	doc := benchBaseline{
-		Schema:   1,
+		Schema:   2,
 		Workload: fmt.Sprintf("%d distinct statements, %d submissions per stream, plan cache primed", len(serverBenchWorkload), reps),
 		Machine:  m.Name,
 		SF:       0.02,
@@ -184,6 +201,17 @@ func TestServerBenchBaseline(t *testing.T) {
 		}
 		if p.SimMsMean <= 0 {
 			t.Errorf("streams %d: simulated per-query cost missing", p.Streams)
+		}
+		if p.WallP50Ms <= 0 {
+			t.Errorf("streams %d: wall p50 missing (latency histograms not fed)", p.Streams)
+		}
+		if p.WallP95Ms < p.WallP50Ms || p.WallP99Ms < p.WallP95Ms {
+			t.Errorf("streams %d: wall percentiles not monotone: p50=%.3f p95=%.3f p99=%.3f",
+				p.Streams, p.WallP50Ms, p.WallP95Ms, p.WallP99Ms)
+		}
+		if p.QueueP95Ms < p.QueueP50Ms || p.QueueP99Ms < p.QueueP95Ms {
+			t.Errorf("streams %d: queue percentiles not monotone: p50=%.3f p95=%.3f p99=%.3f",
+				p.Streams, p.QueueP50Ms, p.QueueP95Ms, p.QueueP99Ms)
 		}
 	}
 }

@@ -10,14 +10,19 @@
 //	cancel <id>     cancel a pending submission
 //	stats           print the service counters (plan-cache hit rate,
 //	                in-flight/queued/rejected, pool shape)
+//	metrics         print the Prometheus text exposition
 //	wait            block until this session's submissions finish
 //	quit            wait, then exit (EOF does the same)
+//
+// With -metrics an HTTP listener additionally serves GET /metrics
+// (the same Prometheus exposition) and the standard /debug/pprof
+// handlers.
 //
 // Usage:
 //
 //	olapserve -quick
 //	olapserve -quick -workers 8 -query-threads 2 -inflight 16
-//	olapserve -quick -listen 127.0.0.1:7433
+//	olapserve -quick -listen 127.0.0.1:7433 -metrics 127.0.0.1:7434
 //	printf 'query select count(*) from orders\nquit\n' | olapserve -quick
 package main
 
@@ -25,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"time"
 
@@ -42,6 +49,7 @@ func main() {
 		cache    = flag.Int("cache", 64, "plan-cache capacity in entries")
 		engine   = flag.String("engine", "auto", "default execution engine: auto, typer or tectorwise")
 		listen   = flag.String("listen", "", "serve TCP on this address instead of stdin (e.g. 127.0.0.1:7433)")
+		metrics  = flag.String("metrics", "", "serve HTTP /metrics and /debug/pprof on this address (e.g. 127.0.0.1:7434)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -74,6 +82,26 @@ func main() {
 	sc := srv.Config()
 	fmt.Fprintf(os.Stderr, "serving: %d pool workers, %d threads/query, %d in-flight + %d queued, plan cache %d\n",
 		sc.Workers, sc.QueryThreads, sc.MaxInFlight, sc.MaxQueue, sc.PlanCache)
+
+	if *metrics != "" {
+		// The pprof import registered its handlers on the default mux;
+		// add /metrics beside them and serve both from one listener.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = srv.WriteMetrics(w)
+		})
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof on /debug/pprof)\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "error: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	if *listen == "" {
 		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {

@@ -16,10 +16,14 @@
 //	select ...;            execute and print the answer
 //	explain select ...;    print the plan and the four-engine
 //	                       cost-model comparison
+//	explain analyze ...;   execute, then print the predicted top-down
+//	                       profile beside the observed one and the
+//	                       per-operator breakdown
 //	\profile select ...;   execute and print the measured top-down
 //	                       cycle breakdown next to the prediction
 //	\engine typer          force an engine (typer/tectorwise/auto)
 //	\threads 8             morsel-driven parallel execution on 8 workers
+//	\timing                toggle printing host wall time per statement
 //	\tables                list the queryable schema
 //	\help                  this text
 //	\q                     quit
@@ -50,11 +54,14 @@ const help = `statements:
                          (joins, group by, having, order by, limit —
                           TPC-H Q1/Q3/Q6/Q18 shapes all run)
   explain select ...;    show the plan + cost-model engine comparison
+  explain analyze ...;   execute, then print predicted vs observed
+                         top-down profiles and per-operator breakdown
 commands:
   \profile select ...;   execute and print measured vs predicted
                          top-down cycle breakdown
   \engine <name>         force engine: typer, tectorwise or auto
   \threads <n>           execute with n parallel workers (1 = serial)
+  \timing                toggle printing host wall time per statement
   \tables                list the queryable schema
   \help                  this text
   \q                     quit`
@@ -122,6 +129,9 @@ func main() {
 			s.setEngine(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\engine")))
 		case strings.HasPrefix(trimmed, "\\threads"):
 			s.setThreads(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\threads")))
+		case trimmed == "\\timing":
+			s.timing = !s.timing
+			fmt.Printf("timing %s\n", map[bool]string{true: "on", false: "off"}[s.timing])
 		case trimmed == "":
 			flush()
 		default:
@@ -149,6 +159,7 @@ type shell struct {
 	h       *harness.Harness
 	engine  string
 	threads int
+	timing  bool
 	status  int
 }
 
@@ -233,8 +244,19 @@ func (s *shell) exec(text string, profile bool) {
 		s.status = 1
 		return
 	}
+	defer func() {
+		if s.timing {
+			fmt.Printf("Time: %.3f ms (host wall)\n",
+				float64(time.Since(start))/float64(time.Millisecond))
+		}
+	}()
 	if a == nil { // EXPLAIN
 		fmt.Print(c.Explain())
+		return
+	}
+	if a.Analysis != nil { // EXPLAIN ANALYZE
+		fmt.Printf("sum=%d rows=%d check=%016x\n", a.Result.Sum, a.Result.Rows, a.Result.Check)
+		fmt.Print(c.RenderAnalysis(a.Analysis))
 		return
 	}
 	fmt.Printf("sum=%d rows=%d check=%016x\n", a.Result.Sum, a.Result.Rows, a.Result.Check)

@@ -173,6 +173,9 @@ func chargeSort(p *probe.Probe, pl *Pipeline, kept int) {
 // order itself. Every step is deterministic for any partitioning of
 // the driver — 1 worker or 16.
 func FinalizeProbed(p *probe.Probe, pl *Pipeline, parts []*Partial) engine.Result {
+	if p != nil {
+		p.BeginSection("finalize")
+	}
 	outAggs := pl.outAggs()
 	var res engine.Result
 	if len(pl.GroupBy) == 0 {

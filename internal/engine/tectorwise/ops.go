@@ -64,6 +64,16 @@ type prepared struct {
 	aggMul       []uint64
 
 	footprint uint64
+
+	// Precomputed EXPLAIN ANALYZE section names: the chunk loop
+	// re-enters each primitive's section thousands of times, so the
+	// hooks must cost one nil check (and no allocation) when the probe
+	// has sections disabled.
+	secSel       []string
+	secJoin      []string
+	secProbeCols string
+	secAggCols   string
+	secAgg       string
 }
 
 // PreparePipeline validates and resolves an ad-hoc relational pipeline
@@ -104,6 +114,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 	for ji, j := range pl.Joins {
 		bt := pl.Tables[j.Build]
 		bn := bt.Rows
+		p.BeginSection(fmt.Sprintf("build[%d] %s", ji, bt.Name))
 		ht := join.New(as, fmt.Sprintf("tw.sql.join%d", ji), bn)
 		scanned := map[[2]int]bool{}
 		j.BuildKey.Cols(scanned)
@@ -143,6 +154,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 		}
 		pr.builds[ji] = relop.BuildState{HT: ht, RowOf: rowOf, Payload: payload}
 	}
+	p.EndSection()
 
 	// Driver column classification: conjunct columns load inside their
 	// selection primitives; probe-key columns before the join
@@ -198,6 +210,21 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 		if a.Arg != nil {
 			pr.aggAlu[ai], pr.aggMul[ai] = a.Arg.OpCounts()
 		}
+	}
+
+	pr.secSel = make([]string, len(pr.conjs))
+	for ci, cj := range pr.conjs {
+		pr.secSel[ci] = fmt.Sprintf("select[%d] %s", ci, pl.PredString(cj))
+	}
+	pr.secJoin = make([]string, len(pl.Joins))
+	for ji, j := range pl.Joins {
+		pr.secJoin[ji] = fmt.Sprintf("join[%d] probe %s", ji, pl.Tables[j.Build].Name)
+	}
+	pr.secProbeCols = "gather probe-keys"
+	pr.secAggCols = "gather agg-inputs"
+	pr.secAgg = "aggregate"
+	if len(pl.GroupBy) > 0 {
+		pr.secAgg = "hash-aggregate"
 	}
 	return pr, nil
 }
@@ -258,6 +285,7 @@ func (w *worker) RunMorsel(start, end int) {
 
 		// Selection primitives, one per conjunct.
 		for ci, cj := range pr.conjs {
+			p.BeginSection(pr.secSel[ci])
 			in := uint64(k)
 			if ci == 0 {
 				for _, c := range pr.conjCols[ci] {
@@ -296,6 +324,9 @@ func (w *worker) RunMorsel(start, end int) {
 		}
 
 		// Probe-key inputs.
+		if len(pr.probeCols) > 0 {
+			p.BeginSection(pr.secProbeCols)
+		}
 		for _, c := range pr.probeCols {
 			if pr.streamAll {
 				e.loadChunk(p, c, cs, cn)
@@ -312,6 +343,7 @@ func (w *worker) RunMorsel(start, end int) {
 		// driver rows, matchCols[1+ji] the rows of join ji's build.
 		matchCols := [][]int32{append(make([]int32, 0, k), sel[:k]...)}
 		for ji, j := range pl.Joins {
+			p.BeginSection(pr.secJoin[ji])
 			in := len(matchCols[0])
 			e.mulArith(p, uint64(in)*2)
 			e.arith(p, uint64(in)*pr.pkAlu[ji])
@@ -353,6 +385,9 @@ func (w *worker) RunMorsel(start, end int) {
 
 		// Aggregation inputs.
 		uk := uint64(k)
+		if len(pr.aggCols) > 0 {
+			p.BeginSection(pr.secAggCols)
+		}
 		for _, c := range pr.aggCols {
 			if pr.streamAll && len(pl.Joins) == 0 {
 				e.loadChunk(p, c, cs, cn)
@@ -364,6 +399,7 @@ func (w *worker) RunMorsel(start, end int) {
 			}
 		}
 
+		p.BeginSection(pr.secAgg)
 		if ag := w.agg; ag.Grouped {
 			// Key-hash primitive plus per-chunk hash-group updates.
 			e.mulArith(p, uk*2)

@@ -41,6 +41,11 @@ type prepared struct {
 	aAlu, aMul uint64
 
 	footprint uint64
+
+	// Precomputed EXPLAIN ANALYZE section names, so the per-morsel
+	// hooks cost one nil check (and no allocation) when the probe has
+	// sections disabled.
+	secScan, secLoop string
 }
 
 // PreparePipeline validates and resolves an ad-hoc relational pipeline
@@ -87,6 +92,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 	for ji, j := range pl.Joins {
 		bt := pl.Tables[j.Build]
 		n := bt.Rows
+		p.BeginSection(fmt.Sprintf("build[%d] %s", ji, bt.Name))
 		ht := join.New(as, fmt.Sprintf("ty.sql.join%d", ji), n)
 		scanned := map[[2]int]bool{}
 		j.BuildKey.Cols(scanned)
@@ -123,6 +129,9 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 		}
 		pr.builds[ji] = relop.BuildState{HT: ht, RowOf: rowOf, Payload: payload}
 	}
+	p.EndSection()
+	pr.secScan = "scan " + pl.Tables[0].Name
+	pr.secLoop = "filter+probe+aggregate (fused)"
 
 	pr.filterCols, pr.payloadCols = pl.DriverCols()
 	// Like the hardcoded queries, predicate columns always stream;
@@ -259,6 +268,7 @@ func (w *worker) probeJoin(ji int) {
 func (w *worker) RunMorsel(start, end int) {
 	pr, pl, p := w.pr, w.pr.pl, w.p
 	n := uint64(end - start)
+	p.BeginSection(pr.secScan)
 	for _, ci := range pr.filterCols {
 		c := pr.b.Tables[0][ci]
 		p.SeqLoad(c.Addr(start), n*c.ElemBytes(), c.ElemBytes())
@@ -269,6 +279,7 @@ func (w *worker) RunMorsel(start, end int) {
 			p.SeqLoad(c.Addr(start), n*c.ElemBytes(), c.ElemBytes())
 		}
 	}
+	p.BeginSection(pr.secLoop)
 	for i := start; i < end; i++ {
 		w.rows[0] = i
 		if pl.Filter != nil {

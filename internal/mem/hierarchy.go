@@ -70,6 +70,35 @@ func (s *Stats) Add(o Stats) {
 	s.BytesToMem += o.BytesToMem
 }
 
+// Sub returns the counter deltas s - o, where o is an earlier
+// snapshot of the same run. The probe layer uses it to attribute
+// events to named execution sections.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Loads:         s.Loads - o.Loads,
+		Stores:        s.Stores - o.Stores,
+		L1Hits:        s.L1Hits - o.L1Hits,
+		L2Hits:        s.L2Hits - o.L2Hits,
+		L3Hits:        s.L3Hits - o.L3Hits,
+		MemAccesses:   s.MemAccesses - o.MemAccesses,
+		L1PfHits:      s.L1PfHits - o.L1PfHits,
+		L2PfHits:      s.L2PfHits - o.L2PfHits,
+		L3PfHits:      s.L3PfHits - o.L3PfHits,
+		NLPfHits:      s.NLPfHits - o.NLPfHits,
+		SeqMemLines:   s.SeqMemLines - o.SeqMemLines,
+		RandMemLines:  s.RandMemLines - o.RandMemLines,
+		IndepMemLines: s.IndepMemLines - o.IndepMemLines,
+		PfIssuedL1NL:  s.PfIssuedL1NL - o.PfIssuedL1NL,
+		PfIssuedL1St:  s.PfIssuedL1St - o.PfIssuedL1St,
+		PfIssuedL2NL:  s.PfIssuedL2NL - o.PfIssuedL2NL,
+		PfIssuedL2St:  s.PfIssuedL2St - o.PfIssuedL2St,
+		PfFillsStream: s.PfFillsStream - o.PfFillsStream,
+		PfFillsNL:     s.PfFillsNL - o.PfFillsNL,
+		BytesFromMem:  s.BytesFromMem - o.BytesFromMem,
+		BytesToMem:    s.BytesToMem - o.BytesToMem,
+	}
+}
+
 // TotalBytes is all DRAM traffic, the quantity the paper reports as
 // used memory bandwidth when divided by run time.
 func (s *Stats) TotalBytes() uint64 { return s.BytesFromMem + s.BytesToMem }

@@ -24,6 +24,10 @@ type Probe struct {
 	// random accesses, e.g. SIMD gather probes issuing independent
 	// loads (Section 8.2). 0 means the default of 1.
 	RandMLPBoost float64
+
+	// secs is the gated per-operator attribution state (sections.go);
+	// nil unless EnableSections was called.
+	secs *sections
 }
 
 // New creates a probe for a machine with the given prefetcher config.

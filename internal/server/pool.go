@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"olapmicro/internal/engine/parallel"
 	"olapmicro/internal/engine/relop"
@@ -28,7 +30,14 @@ type pool struct {
 	place  int        // next slot for an arriving task's first share
 	closed bool
 	wg     sync.WaitGroup
+
+	// busy counts slots currently executing a morsel — the
+	// slot-utilization gauge the telemetry layer exports.
+	busy atomic.Int64
 }
+
+// busySlots reports how many slots are executing a morsel right now.
+func (p *pool) busySlots() int64 { return p.busy.Load() }
 
 // poolTask is one query's scan phase: its morsels, its per-thread
 // workers, and the completion signal.
@@ -38,6 +47,13 @@ type poolTask struct {
 	threads int // stride; == len(workers)
 	workers []relop.Worker
 
+	// busyNs and ran aggregate each worker's morsel runtimes and
+	// morsel count (indexed like workers). A share is pinned to one
+	// slot, so its worker's entries have a single writer; the done
+	// close orders them before the submitter's read.
+	busyNs []int64
+	ran    []int
+
 	remaining int // shares not yet drained (guarded by pool.mu)
 	done      chan struct{}
 }
@@ -46,6 +62,7 @@ type poolTask struct {
 type share struct {
 	t    *poolTask
 	w    relop.Worker
+	wi   int // worker index within the task
 	next int // next morsel index; advances by t.threads
 }
 
@@ -77,7 +94,7 @@ func (p *pool) enqueue(t *poolTask) {
 	p.place = (p.place + len(t.workers)) % p.n
 	for i, w := range t.workers {
 		s := (base + i) % p.n
-		p.slots[s] = append(p.slots[s], &share{t: t, w: w, next: i})
+		p.slots[s] = append(p.slots[s], &share{t: t, w: w, wi: i, next: i})
 	}
 	p.cond.Broadcast()
 }
@@ -120,8 +137,16 @@ func (p *pool) worker(s int) {
 		if run >= 0 {
 			m := sh.t.morsels[run]
 			p.mu.Unlock()
+			p.busy.Add(1)
+			t0 := time.Now()
 			sh.w.RunMorsel(m.Start, m.End)
+			dt := time.Since(t0)
+			p.busy.Add(-1)
 			p.mu.Lock()
+			if sh.t.busyNs != nil {
+				sh.t.busyNs[sh.wi] += int64(dt)
+				sh.t.ran[sh.wi]++
+			}
 		}
 		// Retire after the morsel ran: done must not close while any
 		// worker of the task is still executing.

@@ -25,6 +25,7 @@ import (
 	"olapmicro/internal/engine/relop"
 	"olapmicro/internal/hw"
 	"olapmicro/internal/mem"
+	"olapmicro/internal/obs"
 	"olapmicro/internal/probe"
 	"olapmicro/internal/sql"
 	"olapmicro/internal/tmam"
@@ -102,10 +103,11 @@ type Response struct {
 	ID uint64
 	// Engine is the engine the planner chose (or was forced to).
 	Engine string
-	// Explain is the rendered plan; non-empty only for EXPLAIN
-	// statements, which are planned but not executed.
+	// Explain is the rendered report of EXPLAIN (the plan, not
+	// executed) or EXPLAIN ANALYZE (the predicted-vs-observed
+	// analysis; the statement did execute).
 	Explain string
-	// Executed is false for EXPLAIN statements.
+	// Executed is false for plain EXPLAIN statements.
 	Executed bool
 	// Result is the comparable answer, bit-identical to a serial run.
 	Result engine.Result
@@ -123,6 +125,10 @@ type Response struct {
 	// Queued is the host-clock admission wait; Wall the host-clock
 	// submit-to-finish latency.
 	Queued, Wall time.Duration
+	// Trace is the query's host-clock span tree: queue-wait, plan
+	// (with the compile spans on a cache miss), build, execute (one
+	// aggregated child per pool worker) and finalize under one root.
+	Trace *obs.Span
 }
 
 // Ticket is one in-flight submission: wait on Done (or Wait), cancel
@@ -176,7 +182,13 @@ func WithThreads(n int) SubmitOption {
 	return func(c *submitConfig) { c.threads = n }
 }
 
-// Stats is a snapshot of the service counters.
+// Stats is a snapshot of the service counters, taken under one lock
+// acquisition: the outcome counters and the occupancy always satisfy
+// Submitted == Completed + Failed + Canceled + InFlight + Queued in
+// any snapshot, even while queries complete concurrently. (The
+// plan-cache counters come from the cache's own single lock
+// acquisition and are mutually consistent, but may run slightly ahead
+// of the outcome counters.)
 type Stats struct {
 	// Submission outcomes. Submitted counts accepted submissions;
 	// Rejected the ErrOverloaded refusals (not included in Submitted).
@@ -212,9 +224,17 @@ type Server struct {
 	closed  bool
 	pending map[uint64]*Ticket
 	wg      sync.WaitGroup
+	// st holds the outcome counters and occupancy, guarded by mu and
+	// updated in the same critical section as the state transition
+	// they describe — a Stats snapshot is therefore exactly
+	// consistent, not a torn read of independent atomics.
+	st struct {
+		submitted, completed, failed, canceled, rejected uint64
+		inflight, queued                                 int
+	}
 
-	nextID                                           atomic.Uint64
-	submitted, completed, failed, canceled, rejected atomic.Uint64
+	nextID atomic.Uint64
+	tel    *Telemetry
 }
 
 // New starts a server: the worker pool spins up immediately and runs
@@ -224,14 +244,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		pool:    newPool(cfg.Workers),
 		plans:   newPlanCache(cfg.PlanCache),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		queue:   make(chan struct{}, cfg.MaxQueue),
 		pending: make(map[uint64]*Ticket),
-	}, nil
+	}
+	s.tel = newTelemetry(s)
+	return s, nil
 }
 
 // Config returns the resolved configuration.
@@ -270,8 +292,8 @@ func (s *Server) QueryAsync(ctx context.Context, text string, opts ...SubmitOpti
 		select {
 		case s.queue <- struct{}{}:
 		default:
+			s.st.rejected++
 			s.mu.Unlock()
-			s.rejected.Add(1)
 			return nil, ErrOverloaded
 		}
 	}
@@ -279,8 +301,13 @@ func (s *Server) QueryAsync(ctx context.Context, text string, opts ...SubmitOpti
 	t.ctx, t.cancel = context.WithCancel(ctx)
 	s.pending[t.ID] = t
 	s.wg.Add(1)
+	s.st.submitted++
+	if admitted {
+		s.st.inflight++
+	} else {
+		s.st.queued++
+	}
 	s.mu.Unlock()
-	s.submitted.Add(1)
 
 	go s.run(t, text, sc, admitted, time.Now())
 	return t, nil
@@ -307,17 +334,21 @@ func (s *Server) Cancel(id uint64) error {
 	return nil
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters atomically (one acquisition
+// of the server lock covers every outcome counter and the occupancy).
 func (s *Server) Stats() Stats {
 	hits, misses, evictions := s.plans.counters()
+	s.mu.Lock()
+	st := s.st
+	s.mu.Unlock()
 	return Stats{
-		Submitted:     s.submitted.Load(),
-		Completed:     s.completed.Load(),
-		Failed:        s.failed.Load(),
-		Canceled:      s.canceled.Load(),
-		Rejected:      s.rejected.Load(),
-		InFlight:      len(s.sem),
-		Queued:        len(s.queue),
+		Submitted:     st.submitted,
+		Completed:     st.completed,
+		Failed:        st.failed,
+		Canceled:      st.canceled,
+		Rejected:      st.rejected,
+		InFlight:      st.inflight,
+		Queued:        st.queued,
 		PlanHits:      hits,
 		PlanMisses:    misses,
 		PlanEvictions: evictions,
@@ -342,18 +373,26 @@ func (s *Server) Close() {
 	s.pool.close()
 }
 
-// finish records a submission's outcome and releases its ticket.
-func (s *Server) finish(t *Ticket, resp *Response, err error) {
-	switch {
-	case err == nil:
-		s.completed.Add(1)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		s.canceled.Add(1)
-	default:
-		s.failed.Add(1)
-	}
+// finish records a submission's outcome and releases its ticket. The
+// outcome counter and the occupancy decrement (inflight reports which
+// budget the submission last occupied) land in one critical section,
+// so no Stats snapshot ever sees the query in both states or neither.
+func (s *Server) finish(t *Ticket, resp *Response, err error, inflight bool) {
 	t.resp, t.err = resp, err
 	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.st.completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.st.canceled++
+	default:
+		s.st.failed++
+	}
+	if inflight {
+		s.st.inflight--
+	} else {
+		s.st.queued--
+	}
 	delete(s.pending, t.ID)
 	s.mu.Unlock()
 	t.cancel() // release the context's resources
@@ -364,6 +403,9 @@ func (s *Server) finish(t *Ticket, resp *Response, err error) {
 // run is one submission's lifecycle: wait for admission if queued,
 // execute, record the outcome.
 func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, submitted time.Time) {
+	root := obs.NewSpan("query")
+	root.Annotate("id=%d", t.ID)
+	qspan := root.Child("queue-wait")
 	if !admitted {
 		// The queue token is released only after the in-flight slot is
 		// taken, so a query counts against exactly one budget — except
@@ -373,45 +415,82 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 		// the waiting bound is never exceeded.
 		select {
 		case s.sem <- struct{}{}:
+			s.mu.Lock()
+			s.st.queued--
+			s.st.inflight++
+			s.mu.Unlock()
 			<-s.queue
 		case <-t.ctx.Done():
 			<-s.queue
-			s.finish(t, nil, t.ctx.Err())
+			s.finish(t, nil, t.ctx.Err(), false)
 			return
 		}
 	}
+	qspan.End()
 	queued := time.Since(submitted)
+	s.tel.QueueMs.Observe(float64(queued) / float64(time.Millisecond))
 	if t.ctx.Err() != nil {
 		<-s.sem
-		s.finish(t, nil, t.ctx.Err())
+		s.finish(t, nil, t.ctx.Err(), true)
 		return
 	}
-	resp, err := s.execute(t, text, sc)
+	resp, err := s.execute(t, text, sc, root)
+	root.End()
+	wall := time.Since(submitted)
 	if resp != nil {
 		resp.Queued = queued
-		resp.Wall = time.Since(submitted)
+		resp.Wall = wall
+		resp.Trace = root
+	}
+	if err == nil {
+		s.tel.WallMs.Observe(float64(wall) / float64(time.Millisecond))
 	}
 	// Release the in-flight slot before finish closes the ticket, so
 	// a waiter that just observed completion never reads a stale
 	// Stats().InFlight.
 	<-s.sem
-	s.finish(t, resp, err)
+	s.finish(t, resp, err, true)
 }
 
 // execute compiles (through the plan cache) and runs one statement on
-// the shared pool.
-func (s *Server) execute(t *Ticket, text string, sc submitConfig) (*Response, error) {
+// the shared pool, hanging its phase spans under root.
+func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span) (*Response, error) {
+	plan := root.Child("plan")
 	key := PlanKey(text, sc.engine, sc.threads)
 	c, hit := s.plans.get(key)
 	if !hit {
+		t0 := time.Now()
 		var err error
-		c, err = sql.Compile(s.cfg.Data, s.cfg.Machine, text, sql.Options{Engine: sc.engine, Threads: sc.threads})
+		c, err = sql.Compile(s.cfg.Data, s.cfg.Machine, text,
+			sql.Options{Engine: sc.engine, Threads: sc.threads, Trace: plan})
+		if err != nil {
+			plan.End()
+			return nil, err
+		}
+		s.tel.CompileMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		s.plans.put(key, c)
+	}
+	plan.Annotate("cache=%v", hit)
+	plan.End()
+	resp := &Response{ID: t.ID, Engine: c.Engine, CacheHit: hit}
+	if c.Stmt.Analyze {
+		// EXPLAIN ANALYZE runs the dedicated serial instrumented pass
+		// off the shared pool: its observed profile is the single-core
+		// reference, bit-identical whatever thread count or concurrency
+		// the server is configured with.
+		sp := root.Child("analyze")
+		an, err := c.Analyze()
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		s.plans.put(key, c)
+		resp.Explain = c.RenderAnalysis(an)
+		resp.Executed = true
+		resp.Result = an.Answer.Result
+		resp.Profile = an.Answer.Profile
+		resp.Threads = 1
+		return resp, nil
 	}
-	resp := &Response{ID: t.ID, Engine: c.Engine, CacheHit: hit}
 	if c.Stmt.Explain {
 		resp.Explain = c.Explain()
 		return resp, nil
@@ -419,12 +498,15 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig) (*Response, er
 
 	// Build phase: hash-join builds run once, serially, on the query's
 	// own probe; workers then probe the shared fragment concurrently.
+	sp := root.Child("build")
 	as := probe.NewAddrSpace()
 	buildProbe := probe.New(s.cfg.Machine, mem.AllPrefetchers())
 	prep, err := c.Prepare(buildProbe, as)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 	// The same morsel partition and worker shape a dedicated
 	// parallel.Run at this thread count would build — the invariant
 	// behind every "bit-identical under concurrency" guarantee.
@@ -433,12 +515,15 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig) (*Response, er
 		morsels, sc.threads, fmt.Sprintf("server.q%d.w", t.ID))
 	threads := len(workers)
 
+	exec := root.Child("execute")
 	if len(morsels) > 0 {
 		task := &poolTask{
 			ctx:     t.ctx,
 			morsels: morsels,
 			threads: threads,
 			workers: workers,
+			busyNs:  make([]int64, threads),
+			ran:     make([]int, threads),
 			done:    make(chan struct{}),
 		}
 		s.pool.enqueue(task)
@@ -446,17 +531,28 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig) (*Response, er
 		// morsels), so done always closes; waiting on it alone keeps
 		// every worker's state quiescent before we read partials.
 		<-task.done
+		// One aggregated span per worker: the sum of its morsel
+		// runtimes on the shared pool (not a contiguous interval).
+		for wi := 0; wi < threads; wi++ {
+			ws := exec.Child(fmt.Sprintf("worker[%d]", wi))
+			ws.SetDuration(time.Duration(task.busyNs[wi]))
+			ws.Annotate("morsels=%d", task.ran[wi])
+		}
 	}
+	exec.End()
+	s.tel.ExecMs.Observe(float64(exec.Duration()) / float64(time.Millisecond))
 	if err := t.ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	sp = root.Child("finalize")
 	partials := make([]*relop.Partial, threads)
 	for i, w := range workers {
 		partials[i] = w.Partial()
 	}
 	merged := relop.FinalizeProbed(buildProbe, c.Pipeline, partials)
 	r := parallel.Assemble(s.cfg.Machine, buildProbe, probes, merged, len(morsels))
+	sp.End()
 
 	resp.Executed = true
 	resp.Result = r.Result

@@ -20,11 +20,15 @@ import (
 //	query <sql>     synchronous submit: block and print the result
 //	cancel <id>     cancel a pending submission
 //	stats           print the service counters
+//	metrics         print the Prometheus text exposition, each line
+//	                prefixed "metric | ", then "ok metrics"
 //	wait            block until this session's submissions finish
 //	quit            wait, then exit (EOF does the same)
 //
-// Responses are single lines; EXPLAIN output spans several lines,
-// each prefixed "explain id=N |". Error lines start "error".
+// Responses are single lines; EXPLAIN and EXPLAIN ANALYZE output
+// spans several lines, each prefixed "explain id=N |" (EXPLAIN
+// ANALYZE also prints the normal result line — it executed). Error
+// lines start "error".
 type Session struct {
 	srv *Server
 	out *bufio.Writer
@@ -65,6 +69,8 @@ func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
 			ses.printf("ok drained")
 		case "stats":
 			ses.printStats()
+		case "metrics":
+			ses.printMetrics()
 		case "cancel":
 			ses.cancelCmd(rest)
 		case "submit":
@@ -72,7 +78,7 @@ func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
 		case "query":
 			ses.submit(rest, true)
 		default:
-			ses.printf("error unknown command %q (want submit, query, cancel, stats, wait, quit)", cmd)
+			ses.printf("error unknown command %q (want submit, query, cancel, stats, metrics, wait, quit)", cmd)
 		}
 	}
 	return in.Err()
@@ -113,29 +119,33 @@ func (ses *Session) submit(text string, blocking bool) {
 	}()
 }
 
-// report waits for a ticket and prints its result line(s).
+// report waits for a ticket and prints its result line(s): a result
+// line for executed statements (EXPLAIN ANALYZE included), then the
+// multi-line explain body when one was rendered.
 func (ses *Session) report(t *Ticket) {
 	resp, err := t.Wait(context.Background())
 	if err != nil {
 		ses.printf("result id=%d error %v", t.ID, err)
 		return
 	}
-	if !resp.Executed {
-		ses.mu.Lock()
-		defer ses.mu.Unlock()
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	if resp.Executed {
+		fmt.Fprintf(ses.out, "result id=%d ok engine=%s sum=%d rows=%d check=%016x time=%.2fms threads=%d morsels=%d cached=%v queued=%s wall=%s\n",
+			resp.ID, resp.Engine, resp.Result.Sum, resp.Result.Rows, resp.Result.Check,
+			resp.Profile.Milliseconds(), resp.Threads, resp.Morsels, resp.CacheHit,
+			resp.Queued.Round(roundTo(resp.Queued)), resp.Wall.Round(roundTo(resp.Wall)))
+	} else {
 		fmt.Fprintf(ses.out, "result id=%d explain engine=%s cached=%v\n", resp.ID, resp.Engine, resp.CacheHit)
+	}
+	if resp.Explain != "" {
 		for _, line := range strings.Split(strings.TrimRight(resp.Explain, "\n"), "\n") {
 			fmt.Fprintf(ses.out, "explain id=%d | %s\n", resp.ID, line)
 		}
-		if ses.out.Flush() != nil {
-			ses.cancel()
-		}
-		return
 	}
-	ses.printf("result id=%d ok engine=%s sum=%d rows=%d check=%016x time=%.2fms threads=%d morsels=%d cached=%v queued=%s wall=%s",
-		resp.ID, resp.Engine, resp.Result.Sum, resp.Result.Rows, resp.Result.Check,
-		resp.Profile.Milliseconds(), resp.Threads, resp.Morsels, resp.CacheHit,
-		resp.Queued.Round(roundTo(resp.Queued)), resp.Wall.Round(roundTo(resp.Wall)))
+	if ses.out.Flush() != nil {
+		ses.cancel()
+	}
 }
 
 // roundTo keeps printed durations to three significant-ish digits.
@@ -172,4 +182,23 @@ func (ses *Session) printStats() {
 		st.InFlight, st.Queued, st.Submitted, st.Completed, st.Failed, st.Canceled, st.Rejected,
 		st.PlanHits, st.PlanMisses, st.PlanEvictions, st.PlanEntries, st.PlanCapacity,
 		st.PlanHitRate(), st.Workers, st.QueryThreads)
+}
+
+// printMetrics prints the Prometheus exposition over the line
+// protocol, each line prefixed so clients can frame it.
+func (ses *Session) printMetrics() {
+	var b strings.Builder
+	if err := ses.srv.WriteMetrics(&b); err != nil {
+		ses.printf("error %v", err)
+		return
+	}
+	ses.mu.Lock()
+	defer ses.mu.Unlock()
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		fmt.Fprintf(ses.out, "metric | %s\n", line)
+	}
+	fmt.Fprintf(ses.out, "ok metrics\n")
+	if ses.out.Flush() != nil {
+		ses.cancel()
+	}
 }

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"io"
+
+	"olapmicro/internal/obs"
+)
+
+// Telemetry is the server's metric surface: outcome counters and
+// plan-cache counters (read from the consistent Stats snapshot at
+// scrape time), occupancy and pool gauges, and the four latency
+// histograms the query path feeds. Everything renders through one
+// obs.Registry in the Prometheus text exposition format.
+type Telemetry struct {
+	reg *obs.Registry
+
+	// QueueMs is admission wait, CompileMs plan compilation on a cache
+	// miss, ExecMs the shared-pool scan phase, WallMs submit-to-finish
+	// of completed queries — all host-clock milliseconds.
+	QueueMs, CompileMs, ExecMs, WallMs *obs.Histogram
+}
+
+// newTelemetry wires the registry against a server's counters.
+func newTelemetry(s *Server) *Telemetry {
+	r := obs.NewRegistry()
+	t := &Telemetry{reg: r}
+	stat := func(f func(Stats) uint64) func() uint64 {
+		return func() uint64 { return f(s.Stats()) }
+	}
+	r.CounterFunc("olap_queries_submitted_total", stat(func(st Stats) uint64 { return st.Submitted }))
+	r.CounterFunc("olap_queries_completed_total", stat(func(st Stats) uint64 { return st.Completed }))
+	r.CounterFunc("olap_queries_failed_total", stat(func(st Stats) uint64 { return st.Failed }))
+	r.CounterFunc("olap_queries_canceled_total", stat(func(st Stats) uint64 { return st.Canceled }))
+	r.CounterFunc("olap_queries_rejected_total", stat(func(st Stats) uint64 { return st.Rejected }))
+	r.CounterFunc("olap_plan_cache_hits_total", stat(func(st Stats) uint64 { return st.PlanHits }))
+	r.CounterFunc("olap_plan_cache_misses_total", stat(func(st Stats) uint64 { return st.PlanMisses }))
+	r.CounterFunc("olap_plan_cache_evictions_total", stat(func(st Stats) uint64 { return st.PlanEvictions }))
+	r.GaugeFunc("olap_in_flight", func() float64 { return float64(s.Stats().InFlight) })
+	r.GaugeFunc("olap_queue_depth", func() float64 { return float64(s.Stats().Queued) })
+	r.GaugeFunc("olap_plan_cache_entries", func() float64 { return float64(s.plans.len()) })
+	r.GaugeFunc("olap_pool_slots", func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("olap_pool_busy_slots", func() float64 { return float64(s.pool.busySlots()) })
+	r.GaugeFunc("olap_pool_utilization", func() float64 {
+		return float64(s.pool.busySlots()) / float64(s.cfg.Workers)
+	})
+	t.QueueMs = r.Histogram("olap_queue_ms", nil)
+	t.CompileMs = r.Histogram("olap_compile_ms", nil)
+	t.ExecMs = r.Histogram("olap_exec_ms", nil)
+	t.WallMs = r.Histogram("olap_wall_ms", nil)
+	return t
+}
+
+// Telemetry exposes the server's metric surface (latency histograms
+// for the benchmark baseline, the registry for /metrics).
+func (s *Server) Telemetry() *Telemetry { return s.tel }
+
+// WriteMetrics renders every metric in the Prometheus text exposition
+// format — the body of olapserve's /metrics endpoint and of the
+// line-protocol metrics verb.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return s.tel.reg.WritePrometheus(w)
+}

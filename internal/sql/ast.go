@@ -166,6 +166,10 @@ type OrderItem struct {
 // Select is a parsed SELECT statement.
 type Select struct {
 	Explain bool
+	// Analyze marks EXPLAIN ANALYZE: plan and execute, then report
+	// the predicted profile next to the observed one. Always set
+	// together with Explain.
+	Analyze bool
 	Items   []SelectItem
 	From    FromTable
 	Joins   []JoinOn
@@ -182,6 +186,9 @@ func (s *Select) String() string {
 	var b strings.Builder
 	if s.Explain {
 		b.WriteString("explain ")
+		if s.Analyze {
+			b.WriteString("analyze ")
+		}
 	}
 	b.WriteString("select ")
 	for i, it := range s.Items {

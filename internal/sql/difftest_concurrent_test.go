@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 
@@ -98,6 +100,25 @@ func TestDifferentialConcurrentStreams(t *testing.T) {
 			st := srv.Stats()
 			if got := int(st.Completed + st.Failed); got != len(corpus) {
 				t.Errorf("streams %d: served %d of %d corpus queries", streams, got, len(corpus))
+			}
+			// The /metrics scrape must account for the whole corpus too:
+			// the exposition's outcome counters sum to the corpus size.
+			var b strings.Builder
+			if err := srv.WriteMetrics(&b); err != nil {
+				t.Fatal(err)
+			}
+			var sum int
+			for _, name := range []string{"olap_queries_completed_total", "olap_queries_failed_total", "olap_queries_canceled_total"} {
+				m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindStringSubmatch(b.String())
+				if m == nil {
+					t.Fatalf("streams %d: exposition missing %s:\n%s", streams, name, b.String())
+				}
+				var v int
+				fmt.Sscanf(m[1], "%d", &v)
+				sum += v
+			}
+			if sum != len(corpus) {
+				t.Errorf("streams %d: /metrics outcome counters sum to %d, want the corpus size %d", streams, sum, len(corpus))
 			}
 		})
 	}

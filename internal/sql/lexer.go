@@ -49,8 +49,9 @@ var keywords = map[string]bool{
 	"select": true, "from": true, "where": true, "and": true,
 	"between": true, "join": true, "on": true, "group": true,
 	"by": true, "as": true, "sum": true, "count": true, "min": true,
-	"max": true, "date": true, "explain": true, "having": true,
-	"order": true, "limit": true, "asc": true, "desc": true,
+	"max": true, "date": true, "explain": true, "analyze": true,
+	"having": true,
+	"order":  true, "limit": true, "asc": true, "desc": true,
 }
 
 // lexer scans SQL text into tokens with positions.

@@ -109,6 +109,9 @@ func (p *parser) parseSelect() (*Select, error) {
 	s := &Select{Limit: -1}
 	if p.keyword("explain") {
 		s.Explain = true
+		if p.keyword("analyze") {
+			s.Analyze = true
+		}
 	}
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"olapmicro/internal/hw"
 	"olapmicro/internal/mem"
 	"olapmicro/internal/multicore"
+	"olapmicro/internal/obs"
 	"olapmicro/internal/probe"
 	"olapmicro/internal/tmam"
 	"olapmicro/internal/tpch"
@@ -27,6 +28,10 @@ type Options struct {
 	// selection through the modelled parallel times; 0 or 1 runs the
 	// serial executor.
 	Threads int
+	// Trace, when non-nil, adopts the compile-phase span tree (parse,
+	// bind+plan, predict, select) as a child — internal/server parents
+	// it under each query's plan span.
+	Trace *obs.Span
 }
 
 // Compiled is a parsed, planned and cost-analyzed statement, ready to
@@ -37,6 +42,10 @@ type Compiled struct {
 	Predictions []Prediction
 	Engine      string // chosen execution engine ("Typer"/"Tectorwise")
 	Threads     int    // worker count Execute will use (>= 1)
+	// Spans is the compile-phase span tree ("compile" with parse,
+	// bind+plan, predict and select children), recorded on every
+	// compilation from the host monotonic clock.
+	Spans *obs.Span
 
 	data    *tpch.Data
 	machine *hw.Machine
@@ -58,6 +67,9 @@ type Answer struct {
 	// Parallel summarizes the morsel-driven run — socket bandwidth,
 	// speedup, per-worker profiles. It is nil on the serial path.
 	Parallel *parallel.Result
+	// Analysis carries the EXPLAIN ANALYZE attribution (analyze.go);
+	// non-nil only when the statement was EXPLAIN ANALYZE.
+	Analysis *Analysis
 }
 
 // chooseAuto picks the executable engine with the lowest predicted
@@ -97,11 +109,16 @@ func (p Prediction) predictedSeconds() float64 {
 // four profiled engines with the calibrated cost models, and picks the
 // execution engine.
 func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, error) {
+	root := obs.NewSpan("compile")
+	sp := root.Child("parse")
 	stmt, err := Parse(text)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = root.Child("bind+plan")
 	pl, err := BuildPipeline(d, stmt)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -109,23 +126,28 @@ func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, 
 	// Explain describe the thread count that will actually run.
 	threads := parallel.ClampThreads(m, opt.Threads)
 	c := &Compiled{
-		Stmt:        stmt,
-		Pipeline:    pl,
-		Predictions: Predict(pl, m),
-		Threads:     threads,
-		data:        d,
-		machine:     m,
+		Stmt:     stmt,
+		Pipeline: pl,
+		Threads:  threads,
+		Spans:    root,
+		data:     d,
+		machine:  m,
 	}
+	sp = root.Child("predict")
+	c.Predictions = Predict(pl, m)
 	if threads > 1 {
 		for i := range c.Predictions {
 			r := multicore.Run(c.Predictions[i].Inputs, threads, multicore.Options{})
 			c.Predictions[i].Parallel = &r
 		}
 	}
+	sp.End()
+	sp = root.Child("select")
 	switch strings.ToLower(opt.Engine) {
 	case "", "auto":
 		sys, err := chooseAuto(c.Predictions)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		c.Engine = sys
@@ -134,7 +156,14 @@ func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, 
 	case "tectorwise":
 		c.Engine = "Tectorwise"
 	default:
+		sp.End()
 		return nil, fmt.Errorf("unknown engine %q (want typer, tectorwise or auto)", opt.Engine)
+	}
+	sp.Annotate("engine=%s", c.Engine)
+	sp.End()
+	root.End()
+	if opt.Trace != nil {
+		opt.Trace.Adopt(root)
 	}
 	return c, nil
 }
@@ -292,12 +321,21 @@ func (c *Compiled) Explain() string {
 	return b.String()
 }
 
-// Run is the one-call form: compile, then execute unless the statement
-// was EXPLAIN. The Answer is nil for EXPLAIN statements.
+// Run is the one-call form: compile, then execute unless the
+// statement was plain EXPLAIN. The Answer is nil for EXPLAIN
+// statements; EXPLAIN ANALYZE executes the serial instrumented run
+// and returns its Answer with Answer.Analysis set.
 func Run(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, *Answer, error) {
 	c, err := Compile(d, m, text, opt)
 	if err != nil {
 		return nil, nil, err
+	}
+	if c.Stmt.Analyze {
+		an, err := c.Analyze()
+		if err != nil {
+			return c, nil, err
+		}
+		return c, an.Answer, nil
 	}
 	if c.Stmt.Explain {
 		return c, nil, nil

@@ -180,6 +180,30 @@ func InputsFrom(p *probe.Probe) Inputs {
 	}
 }
 
+// InputsFromCounters builds accounting inputs for one named section
+// of a sectioned run: the section's extensive counter deltas paired
+// with the probe's intensive quantities (instruction footprint,
+// prefetch distance, MLP boost). Section profiles account exactly
+// like whole runs, but AccountInputs is nonlinear (bandwidth floors,
+// MLP discounts), so per-section times need not sum exactly to the
+// run's total — the same caveat hardware per-region TMAM carries.
+func InputsFromCounters(p *probe.Probe, c probe.Counters) Inputs {
+	return Inputs{
+		Machine:     p.Machine,
+		Ops:         c.Ops,
+		Mispredicts: c.Mispredicts,
+		Frontend: cpu.Frontend{
+			Machine:        p.Machine,
+			FootprintBytes: p.Frontend.FootprintBytes,
+			Traversals:     c.Traversals,
+			DecodeEvents:   c.DecodeEvents,
+		},
+		MemStats:     c.Mem,
+		PfDist:       p.Mem.EffectivePrefetchDistance(),
+		RandMLPBoost: p.RandMLPBoost,
+	}
+}
+
 // Add returns the element-wise sum of two counter snapshots — how the
 // parallel executor forms the single-core-equivalent run from its
 // workers' counters. Extensive counters add; intensive quantities

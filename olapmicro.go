@@ -139,10 +139,13 @@ func QueryParallel(threads int) QueryOption { return func(c *queryConfig) { c.th
 type QueryOutput struct {
 	// Engine is the engine the planner chose (or was forced to).
 	Engine string
-	// Explain is the plan plus the four-engine cost-model comparison.
+	// Explain is the plan plus the four-engine cost-model comparison;
+	// for EXPLAIN ANALYZE it is the full report instead — the plan,
+	// the predicted top-down profile beside the observed one, the
+	// per-operator breakdown, and the host-wall span timings.
 	Explain string
-	// Executed is false for EXPLAIN statements; the fields below are
-	// then zero.
+	// Executed is false for EXPLAIN statements (EXPLAIN ANALYZE
+	// executes, so it is true there); the fields below are then zero.
 	Executed bool
 	// Sum, Rows and Check mirror engine.Result: the primary aggregate,
 	// the result-row count, and the order-insensitive row checksum.
@@ -191,7 +194,9 @@ func (c queryConfig) validate() error {
 // database: parse, bind against the TPC-H catalog, cost-based engine
 // selection, then execution on the chosen engine's generalized
 // operators with full micro-architectural profiling. A statement
-// prefixed with EXPLAIN is planned but not executed.
+// prefixed with EXPLAIN is planned but not executed; EXPLAIN ANALYZE
+// executes it and reports the predicted top-down profile beside the
+// observed per-operator breakdown in Explain.
 func Query(text string, opts ...QueryOption) (*QueryOutput, error) {
 	var cfg queryConfig
 	for _, o := range opts {
@@ -207,6 +212,9 @@ func Query(text string, opts ...QueryOption) (*QueryOutput, error) {
 	}
 	out := &QueryOutput{Engine: c.Engine, Explain: c.Explain()}
 	if a != nil {
+		if a.Analysis != nil {
+			out.Explain = c.RenderAnalysis(a.Analysis)
+		}
 		out.Executed = true
 		out.Sum = a.Result.Sum
 		out.Rows = a.Result.Rows
