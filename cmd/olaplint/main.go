@@ -1,0 +1,123 @@
+// Command olaplint is the repository's multichecker: it runs the
+// olaplint analyzer suite (internal/analysis) over packages, either
+// as a `go vet -vettool` (the mode CI uses, one JSON .cfg compilation
+// unit per invocation) or standalone over package patterns:
+//
+//	go build -o bin/olaplint ./cmd/olaplint
+//	go vet -vettool=$PWD/bin/olaplint ./...   # vettool mode
+//	bin/olaplint ./...                        # standalone mode
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or
+// load errors, 0 otherwise.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"olapmicro/internal/analysis"
+	"olapmicro/internal/analysis/lintkit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("olaplint: ")
+	args := os.Args[1:]
+
+	// The `go vet` handshake: -V=full identifies the tool for build
+	// caching; -flags describes analyzer flags (olaplint has none).
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(args[0], "-V"):
+			if args[0] != "-V=full" && args[0] != "--V=full" {
+				log.Fatalf("unsupported flag %s (use -V=full)", args[0])
+			}
+			printVersion()
+			return
+		case args[0] == "help" || args[0] == "-h" || args[0] == "--help":
+			usage()
+			return
+		}
+	}
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	analyzers := analysis.All()
+
+	// Vettool mode: a single JSON config describing one unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := lintkit.RunUnit(args[0], analysis.ModulePath, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reportAndExit(diags)
+		return
+	}
+
+	// Standalone mode: load package patterns ourselves.
+	pkgs, err := lintkit.Load("", args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var diags []lintkit.Diagnostic
+	for _, pkg := range pkgs {
+		d, err := lintkit.RunPackage(pkg, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diags = append(diags, d...)
+	}
+	reportAndExit(diags)
+}
+
+func reportAndExit(diags []lintkit.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// printVersion implements the -V=full contract: a line starting
+// "<name> version" whose content changes whenever the tool binary
+// does, so `go vet` caches per-package results correctly.
+func printVersion() {
+	progname, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel olaplint buildID=%02x\n", filepath.Base(progname), h.Sum(nil))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `olaplint enforces the engine's determinism, concurrency and hot-path
+invariants (see README "Static analysis").
+
+usage:
+  go vet -vettool=$(command -v olaplint) ./...   # as a vet tool
+  olaplint ./...                                 # standalone
+`)
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

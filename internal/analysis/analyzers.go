@@ -1,0 +1,56 @@
+// Package analysis is olaplint: the static-analysis suite that
+// mechanically enforces the engine's determinism, concurrency and
+// hot-path invariants. The compiler cannot see that results and
+// simulated profiles must be bit-identical at every thread count,
+// that probe counter-delta sections must pair, or that telemetry
+// fields mix atomic and mutex-guarded access — these analyzers can,
+// so refactors fail `make lint` instead of flaking a difftest.
+//
+// Five analyzers (see README "Static analysis"):
+//
+//	detrange    — unordered map iteration in result-producing paths
+//	wallclock   — host clocks / unseeded rand inside simulated paths
+//	sectionpair — probe.BeginSection left open on a control-flow path
+//	atomicfield — torn atomic/plain access mixes, mutex contracts
+//	hotalloc    — allocation patterns inside RunMorsel hot loops
+//
+// Suppressions use the //olap:allow annotation (lintkit): an allow
+// that suppresses nothing is itself an error, so annotations stay
+// load-bearing.
+package analysis
+
+import "olapmicro/internal/analysis/lintkit"
+
+// ModulePath is the module the suite lints; units outside it (stdlib
+// fact dependencies under go vet) are skipped.
+const ModulePath = "olapmicro"
+
+// simulatedScope lists the packages whose work is accounted by the
+// simulators and must stay bit-identical run to run: the engines, the
+// SQL compile/execute path, the probes, the top-down model — plus the
+// server, whose scheduling must not perturb per-query streams.
+var simulatedScope = []string{
+	"olapmicro/internal/engine",
+	"olapmicro/internal/sql",
+	"olapmicro/internal/probe",
+	"olapmicro/internal/tmam",
+	"olapmicro/internal/server",
+}
+
+// deterministicScope adds the rendering layers (EXPLAIN, metrics
+// exposition) where unordered iteration corrupts golden output even
+// when no simulator is involved.
+var deterministicScope = append([]string{
+	"olapmicro/internal/obs",
+}, simulatedScope...)
+
+// All returns the complete olaplint suite in reporting order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		Detrange,
+		Wallclock,
+		Sectionpair,
+		Atomicfield,
+		Hotalloc,
+	}
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"olapmicro/internal/analysis/lintkit"
+)
+
+// Atomicfield enforces the two field-access disciplines the server's
+// telemetry state depends on:
+//
+//  1. A struct field that is ever accessed through a sync/atomic
+//     free function (atomic.AddInt64(&s.f, ...)) must be accessed
+//     that way everywhere: one plain load next to atomic stores is a
+//     torn-snapshot bug (the class PR 6 fixed in Server.Stats).
+//     Typed atomics (atomic.Int64 & friends) are immune by
+//     construction and preferred.
+//
+//  2. A field documented `guarded by <mu>` may only be touched inside
+//     functions that lock the stated mutex before the access (or
+//     carry a //olap:allow atomicfield annotation explaining why the
+//     access is safe anyway, e.g. single-writer before publication).
+var Atomicfield = &lintkit.Analyzer{
+	Name: "atomicfield",
+	Doc:  "atomic fields must be atomic everywhere; `guarded by mu` fields need the mutex held",
+	Run:  runAtomicfield,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func runAtomicfield(pass *lintkit.Pass) error {
+	// Pass 1: fields reached through sync/atomic free functions, and
+	// the selector nodes sanctioned by appearing there.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFreeFunc(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(pass, sel); fld != nil {
+					atomicFields[fld] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Guarded fields: declared `guarded by <mu>` in a struct type.
+	guarded := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardComment(fld)
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	if len(atomicFields) == 0 && len(guarded) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector touching those fields.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fld := fieldOf(pass, sel)
+				if fld == nil {
+					return true
+				}
+				if atomicFields[fld] && !sanctioned[sel] {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed via sync/atomic elsewhere; this plain access can tear (use the atomic API everywhere, or a typed atomic.%s)",
+						fld.Name(), suggestTypedAtomic(fld))
+				}
+				if mu, ok := guarded[fld]; ok && !locksBefore(pass, fd.Body, sel.Pos(), mu) {
+					pass.Reportf(sel.Pos(),
+						"field %s is documented `guarded by %s` but the function does not lock %s before this access",
+						fld.Name(), mu, mu)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicFreeFunc reports whether call invokes a package-level
+// sync/atomic function (AddInt64, LoadUint64, ...), as opposed to a
+// typed-atomic method.
+func isAtomicFreeFunc(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldOf resolves a selector to the struct field it names, nil when
+// it is not a field selection.
+func fieldOf(pass *lintkit.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// guardComment extracts the mutex name from a field's doc or line
+// comment, last path component ("pool.mu" -> "mu").
+func guardComment(fld *ast.Field) string {
+	text := ""
+	if fld.Doc != nil {
+		text += fld.Doc.Text()
+	}
+	if fld.Comment != nil {
+		text += fld.Comment.Text()
+	}
+	m := guardedByRe.FindStringSubmatch(text)
+	if m == nil {
+		return ""
+	}
+	mu := m[1]
+	for i := len(mu) - 1; i >= 0; i-- {
+		if mu[i] == '.' {
+			return mu[i+1:]
+		}
+	}
+	return mu
+}
+
+// locksBefore reports whether body contains a call to <x>.<mu>.Lock()
+// or .RLock() positioned before pos.
+func locksBefore(pass *lintkit.Pass, body *ast.BlockStmt, pos token.Pos, mu string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == mu {
+			found = true
+			return false
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == mu {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// suggestTypedAtomic names the typed atomic matching the field's
+// underlying type, for the diagnostic's fix hint.
+func suggestTypedAtomic(fld *types.Var) string {
+	if b, ok := fld.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		}
+	}
+	return "Value"
+}

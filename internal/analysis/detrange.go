@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"olapmicro/internal/analysis/lintkit"
+)
+
+// Detrange flags `for ... range m` over a map in result-producing
+// packages: Go randomizes map iteration order per run, so any
+// order-sensitive effect inside the loop (probe events, appends that
+// feed ordered output, float accumulation) breaks the bit-identical
+// results and simulated profiles the whole methodology rests on.
+//
+// A loop is accepted without annotation when its body is provably
+// order-insensitive:
+//
+//   - appends into a local slice that is later passed to a sort.* /
+//     slices.Sort* call in the same function (collect-then-sort);
+//   - set-style map writes m2[k] = v and delete(m2, k);
+//   - integer (never float) commutative accumulation: +=, |=, &=, ^=,
+//     ++, --;
+//   - assignments of call-free constant expressions;
+//   - `if` statements with call-free conditions over the above.
+//
+// Anything else — in particular any function call — needs sorted keys
+// or a //olap:allow detrange annotation.
+var Detrange = &lintkit.Analyzer{
+	Name:  "detrange",
+	Doc:   "flags nondeterministically-ordered map iteration in result-producing paths",
+	Scope: deterministicScope,
+	Run:   runDetrange,
+}
+
+func runDetrange(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if orderInsensitive(pass, rs, fd.Body) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"iteration over map %s is nondeterministically ordered; iterate sorted keys instead (collect, sort, range the slice)",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// orderInsensitive reports whether the map-range loop cannot leak
+// iteration order: every statement is from the safe set, and any
+// slice it appends into is sorted later in the enclosing function.
+func orderInsensitive(pass *lintkit.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	var appendTargets []string
+	if !safeStmts(pass, rs.Body.List, &appendTargets) {
+		return false
+	}
+	for _, name := range appendTargets {
+		if !sortedAfter(pass, enclosing, rs.End(), name) {
+			return false
+		}
+	}
+	return true
+}
+
+func safeStmts(pass *lintkit.Pass, stmts []ast.Stmt, appendTargets *[]string) bool {
+	for _, s := range stmts {
+		if !safeStmt(pass, s, appendTargets) {
+			return false
+		}
+	}
+	return true
+}
+
+func safeStmt(pass *lintkit.Pass, s ast.Stmt, appendTargets *[]string) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			// x = append(x, ...): order-insensitive if x is sorted later.
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+					if lid, ok := lhs.(*ast.Ident); ok {
+						if aid, ok := call.Args[0].(*ast.Ident); ok && aid.Name == lid.Name {
+							*appendTargets = append(*appendTargets, lid.Name)
+							return true
+						}
+					}
+				}
+				return false
+			}
+			// m2[k] = v: set-style insertion, keys from a map are unique.
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				if tv, ok := pass.TypesInfo.Types[ix.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						return callFree(rhs)
+					}
+				}
+				return false
+			}
+			// x = <constant expr>: idempotent across iterations.
+			if _, ok := lhs.(*ast.Ident); ok {
+				if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+					return true
+				}
+			}
+			return false
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Integer accumulation commutes; float addition does not.
+			return integerExpr(pass, lhs) && callFree(rhs)
+		}
+		return false
+	case *ast.IncDecStmt:
+		return integerExpr(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m2, k): set-style removal.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || !callFree(s.Cond) {
+			return false
+		}
+		if !safeStmts(pass, s.Body.List, appendTargets) {
+			return false
+		}
+		if s.Else != nil {
+			return safeStmt(pass, s.Else, appendTargets)
+		}
+		return true
+	case *ast.BlockStmt:
+		return safeStmts(pass, s.List, appendTargets)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// callFree reports whether e contains no function call (conversions
+// count as calls: conservative, cheap, and rarely wrong here).
+func callFree(e ast.Expr) bool {
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			free = false
+			return false
+		}
+		return true
+	})
+	return free
+}
+
+func integerExpr(pass *lintkit.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedAfter reports whether, after pos inside fn, some sort.* or
+// slices.Sort* call takes the named slice as an argument.
+func sortedAfter(pass *lintkit.Pass, fn *ast.BlockStmt, pos token.Pos, name string) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

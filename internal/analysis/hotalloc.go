@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"olapmicro/internal/analysis/lintkit"
+)
+
+// Hotalloc flags per-call allocation patterns inside the morsel hot
+// path: the bodies of RunMorsel methods and every same-package
+// function statically reachable from one. A RunMorsel executes once
+// per morsel per query per worker — millions of times under server
+// load — so a fmt.Sprintf, string concatenation, closure literal or
+// interface-boxing conversion there is not a style nit, it is the
+// section-name-allocation bug PR 6 fixed, generalized. Precompute in
+// PreparePipeline/NewWorker instead, or annotate //olap:allow
+// hotalloc with the reason the allocation is amortized.
+var Hotalloc = &lintkit.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags fmt calls, string concat, closures and interface boxing in RunMorsel hot paths",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *lintkit.Pass) error {
+	// Build the same-package static call graph over declared functions.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fd.Name.Name == "RunMorsel" {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	callees := func(fd *ast.FuncDecl) []*types.Func {
+		var out []*types.Func
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+				out = append(out, fn)
+			}
+			return true
+		})
+		return out
+	}
+
+	reachable := map[*types.Func]bool{}
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reachable[fn] {
+			continue
+		}
+		reachable[fn] = true
+		if fd, ok := decls[fn]; ok {
+			for _, callee := range callees(fd) {
+				if !reachable[callee] {
+					work = append(work, callee)
+				}
+			}
+		}
+	}
+
+	for fn := range reachable {
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		checkHotBody(pass, fd)
+	}
+	return nil
+}
+
+func checkHotBody(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure literal in the %s hot path allocates per call; hoist it to a method or precompute it", hotPathName(fd))
+			return true // its body still runs hot
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				pass.Reportf(n.Pos(),
+					"string concatenation in the %s hot path allocates per call; precompute the string", hotPathName(fd))
+			}
+		case *ast.CallExpr:
+			// fmt.* always allocates (formatting + boxing its variadics).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+					pass.Reportf(n.Pos(),
+						"fmt.%s in the %s hot path allocates per call; precompute the string outside the morsel loop", obj.Name(), hotPathName(fd))
+					return true
+				}
+			}
+			// Explicit conversion to an interface type boxes the value.
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+					if argTV, ok := pass.TypesInfo.Types[n.Args[0]]; ok {
+						if _, already := argTV.Type.Underlying().(*types.Interface); !already {
+							pass.Reportf(n.Pos(),
+								"conversion to interface %s in the %s hot path boxes (allocates) per call",
+								types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), hotPathName(fd))
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func hotPathName(fd *ast.FuncDecl) string {
+	if fd.Name.Name == "RunMorsel" {
+		return "RunMorsel"
+	}
+	return fd.Name.Name + " (reached from RunMorsel)"
+}
+
+func isString(pass *lintkit.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,121 @@
+package lintkit
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches analysistest-style expectations: a trailing
+//
+//	// want `regexp` `regexp` ...
+//
+// comment on the line a diagnostic is expected, each operand a
+// backquoted or double-quoted Go string holding a regular expression
+// the diagnostic message must match.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one // want operand, keyed by file and line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// RunTest loads the fixture package rooted at dir (a path relative to
+// the caller's working directory, conventionally under
+// testdata/src/...), runs the analyzers over it, and compares the
+// diagnostics against the fixture's // want comments: every
+// diagnostic must be wanted, and every want must be matched, both by
+// (file, line, message-regexp).
+func RunTest(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs, err := Load("", "./"+strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitWantOperands(m[1]) {
+					pat, err := unquoteWant(raw)
+					if err != nil {
+						t.Fatalf("%s: bad // want operand %s: %v", pos, raw, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad // want regexp %s: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitWantOperands splits `a` `b` "c" into raw quoted operands.
+func splitWantOperands(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			break
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			out = append(out, s)
+			break
+		}
+		out = append(out, s[:end+2])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+func unquoteWant(raw string) (string, error) {
+	if strings.HasPrefix(raw, "`") && strings.HasSuffix(raw, "`") && len(raw) >= 2 {
+		return raw[1 : len(raw)-1], nil
+	}
+	return strconv.Unquote(raw)
+}

@@ -1,0 +1,281 @@
+// Package lintkit is the repository's dependency-free analyzer
+// framework: a stdlib-only mirror of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic), a go/types
+// loader driven by `go list -export`, the `go vet -vettool` config
+// protocol, and an analysistest-style fixture runner. The olaplint
+// analyzers in internal/analysis build on it; cmd/olaplint is the
+// multichecker binary.
+//
+// The x/tools module is deliberately not imported — the repository has
+// no external dependencies — but the API shape is kept close enough
+// that an analyzer written here reads like a stock go/analysis pass.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named analysis and its entry point.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //olap:allow
+	Doc  string // one-paragraph description for README / help output
+	Run  func(*Pass) error
+
+	// Scope restricts the analyzer to packages whose import path
+	// matches one of these prefixes (path-segment-wise). Empty means
+	// every package. Fixture packages (any path containing a
+	// "testdata" segment) are always in scope so golden tests can
+	// exercise analyzers whose real scope is elsewhere.
+	Scope []string
+}
+
+// A Diagnostic is one reported problem, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one loaded, parsed and type-checked compilation unit.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Pass carries one analyzer's view of one package. Reportf is the
+// only way to emit diagnostics; it consults the package's
+// //olap:allow table so suppressions and their staleness accounting
+// stay consistent across every analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allows *allowTable
+	diags  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a matching //olap:allow
+// annotation suppresses it. Diagnostics inside _test.go files are
+// dropped: the determinism and hot-path invariants bind production
+// code, not tests.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if strings.HasSuffix(position.Filename, "_test.go") {
+		return
+	}
+	if p.allows != nil && p.allows.suppress(p.Analyzer.Name, pos, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the analyzer applies to the package the
+// pass is running on (see Analyzer.Scope).
+func (p *Pass) InScope() bool {
+	a := p.Analyzer
+	if len(a.Scope) == 0 {
+		return true
+	}
+	path := p.Pkg.Path()
+	// go vet analyzes the test-augmented variant under an ID like
+	// "pkg [pkg.test]"; scope-match the underlying package path.
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	for _, prefix := range a.Scope {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowRe is the //olap:allow annotation grammar: the marker, one
+// analyzer name, and an optional free-text reason.
+var allowRe = regexp.MustCompile(`^//olap:allow\s+([a-z]+)(?:\s+(.*))?$`)
+
+// An allowMark is one parsed //olap:allow comment. Line-scoped marks
+// suppress matching diagnostics on their own line or the next line
+// (covering both trailing and standalone placement); function-scoped
+// marks (in a func's doc comment or on its declaration line) suppress
+// within the whole function body.
+type allowMark struct {
+	analyzer string
+	file     string
+	line     int
+	funcFrom token.Pos // body range when function-scoped; NoPos otherwise
+	funcTo   token.Pos
+	pos      token.Position
+	used     bool
+}
+
+type allowTable struct {
+	marks []*allowMark
+}
+
+// buildAllowTable scans every comment in the package for //olap:allow
+// marks, resolving function-scoped placement against the file's
+// declarations. Marks in _test.go files are ignored.
+func buildAllowTable(fset *token.FileSet, files []*ast.File) *allowTable {
+	t := &allowTable{}
+	for _, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				mark := &allowMark{
+					analyzer: m[1],
+					file:     pos.Filename,
+					line:     pos.Line,
+					pos:      pos,
+				}
+				// Function-scoped if the comment sits in a func's doc
+				// comment or on the line of the func keyword.
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					declLine := fset.Position(fd.Pos()).Line
+					inDoc := fd.Doc != nil && c.Pos() >= fd.Doc.Pos() && c.End() <= fd.Doc.End()
+					if inDoc || pos.Line == declLine {
+						mark.funcFrom = fd.Body.Pos()
+						mark.funcTo = fd.Body.End()
+						break
+					}
+				}
+				t.marks = append(t.marks, mark)
+			}
+		}
+	}
+	return t
+}
+
+func (t *allowTable) suppress(analyzer string, pos token.Pos, position token.Position) bool {
+	// Two rounds so a mark on the diagnostic's own line wins over a
+	// previous line's next-line fallback: otherwise two consecutively
+	// annotated lines shadow each other and the second mark reads as
+	// stale.
+	for _, sameLine := range []bool{true, false} {
+		for _, m := range t.marks {
+			if m.analyzer != analyzer {
+				continue
+			}
+			if m.funcFrom.IsValid() {
+				if sameLine {
+					continue
+				}
+				if pos >= m.funcFrom && pos <= m.funcTo {
+					m.used = true
+					return true
+				}
+				continue
+			}
+			if m.file != position.Filename {
+				continue
+			}
+			if sameLine && m.line == position.Line || !sameLine && m.line+1 == position.Line {
+				m.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunPackage executes the analyzers over one package and returns the
+// diagnostics, most of olaplint's contract in one place:
+//
+//   - each analyzer only sees packages in its scope;
+//   - //olap:allow marks suppress matching diagnostics;
+//   - a mark that suppressed nothing is itself reported (stale allows
+//     rot into lies, so they are errors);
+//   - a mark naming no analyzer in the run set is reported as unknown.
+//
+// Diagnostics are sorted by position for deterministic output.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := buildAllowTable(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			allows:    allows,
+			diags:     &diags,
+		}
+		if !pass.InScope() {
+			continue
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+		}
+	}
+	for _, m := range allows.marks {
+		switch {
+		case !known[m.analyzer]:
+			diags = append(diags, Diagnostic{
+				Pos:      m.pos,
+				Analyzer: "olaplint",
+				Message:  fmt.Sprintf("//olap:allow names unknown analyzer %q", m.analyzer),
+			})
+		case !m.used:
+			diags = append(diags, Diagnostic{
+				Pos:      m.pos,
+				Analyzer: m.analyzer,
+				Message: fmt.Sprintf("stale //olap:allow %s: no %s diagnostic is suppressed here",
+					m.analyzer, m.analyzer),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

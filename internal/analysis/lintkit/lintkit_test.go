@@ -1,0 +1,87 @@
+package lintkit
+
+import (
+	"go/types"
+	"testing"
+)
+
+func TestAllowRe(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		ok       bool
+	}{
+		{"//olap:allow wallclock", "wallclock", true},
+		{"//olap:allow wallclock real latency, not simulated cost", "wallclock", true},
+		{"//olap:allow detrange order is cosmetic // want `x`", "detrange", true},
+		{"// olap:allow wallclock", "", false},  // space before marker
+		{"//olap:allow", "", false},             // missing analyzer
+		{"//olap:allow Wallclock", "", false},   // uppercase
+		{"//olap:allowwallclock", "", false},    // missing separator
+		{"//nolint:wallclock", "", false},       // wrong marker
+		{"/*olap:allow wallclock*/", "", false}, // block comments not supported
+	}
+	for _, c := range cases {
+		m := allowRe.FindStringSubmatch(c.text)
+		if (m != nil) != c.ok {
+			t.Errorf("allowRe(%q): matched=%v, want %v", c.text, m != nil, c.ok)
+			continue
+		}
+		if m != nil && m[1] != c.analyzer {
+			t.Errorf("allowRe(%q): analyzer %q, want %q", c.text, m[1], c.analyzer)
+		}
+	}
+}
+
+func TestInScope(t *testing.T) {
+	scoped := &Analyzer{Name: "x", Scope: []string{"olapmicro/internal/engine", "olapmicro/internal/sql"}}
+	unscoped := &Analyzer{Name: "y"}
+	cases := []struct {
+		analyzer *Analyzer
+		path     string
+		want     bool
+	}{
+		{scoped, "olapmicro/internal/engine", true},
+		{scoped, "olapmicro/internal/engine/relop", true},
+		{scoped, "olapmicro/internal/sql", true},
+		{scoped, "olapmicro/internal/sqlx", false},
+		{scoped, "olapmicro/internal/server", false},
+		// go vet analyzes test-augmented units under a bracketed ID.
+		{scoped, "olapmicro/internal/engine/relop [olapmicro/internal/engine/relop.test]", true},
+		{scoped, "olapmicro/internal/server [olapmicro/internal/server.test]", false},
+		// Fixture packages are always in scope.
+		{scoped, "olapmicro/internal/analysis/testdata/src/detrange/a", true},
+		{unscoped, "anything/at/all", true},
+	}
+	for _, c := range cases {
+		p := &Pass{Analyzer: c.analyzer, Pkg: types.NewPackage(c.path, "a")}
+		if got := p.InScope(); got != c.want {
+			t.Errorf("InScope(%s, %q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+}
+
+func TestSplitWantOperands(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"`a`", []string{"`a`"}},
+		{"`a` `b c`", []string{"`a`", "`b c`"}},
+		{`"a" ` + "`b`", []string{`"a"`, "`b`"}},
+		{"`stale //olap:allow x`", []string{"`stale //olap:allow x`"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := splitWantOperands(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitWantOperands(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitWantOperands(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

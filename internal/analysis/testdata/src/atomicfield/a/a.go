@@ -1,0 +1,57 @@
+// Package a is the atomicfield golden fixture: mixed plain/atomic
+// access to one field is flagged, `guarded by mu` fields need the
+// mutex held, annotated pre-publication writes are accepted.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits int64
+	n    int // guarded by mu
+}
+
+// Inc accesses hits through sync/atomic, making it an atomic field
+// everywhere: accepted here, binding for every other access.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read loads hits without the atomic API: flagged (torn snapshot).
+func (c *counter) Read() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic elsewhere`
+}
+
+// AtomicRead uses the atomic API: accepted.
+func (c *counter) AtomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Bump touches the guarded field without the mutex: flagged.
+func (c *counter) Bump() {
+	c.n++ // want "field n is documented `guarded by mu` but the function does not lock mu"
+}
+
+// SafeBump locks the stated mutex first: accepted.
+func (c *counter) SafeBump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// NewCounter writes the guarded field before the value is published;
+// the annotation suppresses the diagnostic and is load-bearing.
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 1 //olap:allow atomicfield single writer before publication
+	return c
+}
+
+// Stale holds an annotation that suppresses nothing.
+func (c *counter) Stale() int64 {
+	//olap:allow atomicfield suppresses nothing // want `stale //olap:allow atomicfield`
+	return atomic.LoadInt64(&c.hits)
+}

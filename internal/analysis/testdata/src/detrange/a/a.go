@@ -1,0 +1,82 @@
+// Package a is the detrange golden fixture: map ranges that leak
+// iteration order are flagged, provably order-insensitive ones and
+// annotated ones are not, and a stale allow is itself an error.
+package a
+
+import "sort"
+
+// Emit leaks iteration order into the sink: flagged.
+func Emit(m map[string]int, sink func(string)) {
+	for k := range m { // want `iteration over map map\[string\]int is nondeterministically ordered`
+		sink(k)
+	}
+}
+
+// SumFloat accumulates floats, which do not commute: flagged.
+func SumFloat(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `iteration over map map\[string\]float64 is nondeterministically ordered`
+		s += v
+	}
+	return s
+}
+
+// Keys is collect-then-sort: accepted.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// CollectNoSort appends but never sorts, so the slice order leaks:
+// flagged.
+func CollectNoSort(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `iteration over map map\[string\]int is nondeterministically ordered`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Invert writes set-style into another map: accepted.
+func Invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SumInt accumulates integers, which commute: accepted.
+func SumInt(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+		n++
+	}
+	return n
+}
+
+// Logged is order-sensitive but deliberately so; the annotation
+// suppresses the diagnostic and is load-bearing.
+func Logged(m map[string]int, log func(string)) {
+	//olap:allow detrange debug logging, order is cosmetic
+	for k := range m {
+		log(k)
+	}
+}
+
+// Stale holds an annotation that suppresses nothing.
+func Stale(m map[string]int) int {
+	n := 0
+	//olap:allow detrange suppresses nothing // want `stale //olap:allow detrange`
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

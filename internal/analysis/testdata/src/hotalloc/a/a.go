@@ -1,0 +1,52 @@
+// Package a is the hotalloc golden fixture: allocation patterns in
+// RunMorsel and in functions it reaches are flagged; the same code in
+// cold functions is not.
+package a
+
+import "fmt"
+
+type worker struct {
+	name string
+	out  []string
+}
+
+// RunMorsel is the hot-path root by name.
+func (w *worker) RunMorsel(start, end int) {
+	for i := start; i < end; i++ {
+		w.out = append(w.out, fmt.Sprintf("row %d", i)) // want `fmt\.Sprintf in the RunMorsel hot path`
+		s := w.name + "!"                               // want `string concatenation in the RunMorsel hot path`
+		_ = s
+		f := func() int { return i } // want `closure literal in the RunMorsel hot path`
+		_ = f()
+		v := any(i) // want `conversion to interface .* in the RunMorsel hot path boxes`
+		_ = v
+		w.step(i)
+	}
+}
+
+// step is reached from RunMorsel through the static call graph, so its
+// body is hot too.
+func (w *worker) step(i int) {
+	_ = fmt.Sprint(i) // want `fmt\.Sprint in the step \(reached from RunMorsel\) hot path`
+	w.amortized()
+}
+
+// cold is not reachable from RunMorsel: the same patterns are
+// accepted.
+func (w *worker) cold(i int) string {
+	g := func() int { return i }
+	return fmt.Sprint(w.name + ":" + fmt.Sprint(g()))
+}
+
+// amortized is reached from RunMorsel but its allocation is
+// justified; the annotation suppresses the diagnostic and is
+// load-bearing.
+func (w *worker) amortized() {
+	w.name = w.name + "/suffix" //olap:allow hotalloc runs once per pipeline, not per morsel
+}
+
+// Stale holds an annotation that suppresses nothing.
+func (w *worker) stale(i int) int {
+	//olap:allow hotalloc suppresses nothing // want `stale //olap:allow hotalloc`
+	return i * 2
+}

@@ -1,0 +1,83 @@
+// Package a is the sectionpair golden fixture. The probe type is a
+// local stand-in — the analyzer matches BeginSection/EndSection/
+// Sections by method name so fixtures stay self-contained.
+package a
+
+import "errors"
+
+type probe struct{}
+
+func (p *probe) BeginSection(name string) {}
+func (p *probe) EndSection()              {}
+func (p *probe) Sections() int            { return 0 }
+
+var errEarly = errors.New("early")
+
+// EarlyReturn leaks the section on the failure path: flagged at the
+// return.
+func EarlyReturn(p *probe, fail bool) error {
+	p.BeginSection("scan")
+	if fail {
+		return errEarly // want `return with a probe section still open`
+	}
+	p.EndSection()
+	return nil
+}
+
+// Leak never closes at all: flagged at the closing brace.
+func Leak(p *probe) {
+	p.BeginSection("scan")
+} // want `function can return with a probe section still open`
+
+// Deferred closes by defer, covering every path: accepted.
+func Deferred(p *probe, fail bool) error {
+	p.BeginSection("scan")
+	defer p.EndSection()
+	if fail {
+		return errEarly
+	}
+	return nil
+}
+
+// NilGuarded mirrors the engines' optional-probe idiom: the guards are
+// equivalent to unconditional calls because the probe nil-gates
+// internally, so no spurious open path is forked: accepted.
+func NilGuarded(p *probe, n int) int {
+	if p != nil {
+		p.BeginSection("sum")
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	if p != nil {
+		p.EndSection()
+	}
+	return s
+}
+
+// Loop closes inside the loop body on every iteration: accepted.
+func Loop(p *probe, n int) {
+	for i := 0; i < n; i++ {
+		p.BeginSection("step")
+		p.EndSection()
+	}
+}
+
+// Switcher treats BeginSection as a section switch and leaves the last
+// one open for the caller's Sections(), the engines' RunMorsel shape;
+// the function-scoped annotation suppresses the diagnostic.
+//
+//olap:allow sectionpair trailing section is closed by the caller's Sections()
+func Switcher(p *probe, n int) {
+	for i := 0; i < n; i++ {
+		p.BeginSection("phase")
+	}
+}
+
+// Stale holds an annotation that suppresses nothing.
+func Stale(p *probe) {
+	p.BeginSection("ok")
+	//olap:allow sectionpair suppresses nothing // want `stale //olap:allow sectionpair`
+	p.EndSection()
+}

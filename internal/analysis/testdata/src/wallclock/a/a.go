@@ -1,0 +1,48 @@
+// Package a is the wallclock golden fixture: host-clock reads and the
+// global RNG are flagged, seeded generators and annotated uses are
+// not, stale and unknown-analyzer allows are errors.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the host clock twice: both flagged.
+func Stamp() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the host clock inside a simulated path`
+	return time.Since(t0) // want `time\.Since reads the host clock inside a simulated path`
+}
+
+// Pick uses the unseeded global RNG: flagged.
+func Pick(n int) int {
+	return rand.Intn(n) // want `rand\.Intn uses the unseeded global RNG`
+}
+
+// Seeded constructs an explicit generator and calls methods on it:
+// accepted.
+func Seeded(n int) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(n)
+}
+
+// Elapsed formats a duration without reading the clock: accepted.
+func Elapsed(d time.Duration) string {
+	return d.String()
+}
+
+// Telemetry measures real wall time on purpose; the annotations
+// suppress the diagnostics and are load-bearing.
+func Telemetry() time.Duration {
+	t0 := time.Now()      //olap:allow wallclock measures real latency, not simulated cost
+	return time.Since(t0) //olap:allow wallclock measures real latency, not simulated cost
+}
+
+// StaleAndUnknown holds one allow that suppresses nothing and one that
+// names an analyzer that does not exist.
+func StaleAndUnknown(d time.Duration) time.Duration {
+	//olap:allow wallclock suppresses nothing // want `stale //olap:allow wallclock`
+	d *= 2
+	//olap:allow nosuchcheck misspelled // want `//olap:allow names unknown analyzer "nosuchcheck"`
+	return d
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"olapmicro/internal/analysis/lintkit"
+)
+
+// Wallclock forbids host-clock reads and unseeded randomness inside
+// the simulated execution paths: a time.Now in a compile, execute or
+// probe path leaks wall time into state that must be a pure function
+// of the query and the machine model, and the shared math/rand global
+// RNG is both unseeded (order-dependent across goroutines) and a
+// contention point. Legitimate host-timing uses — obs spans, server
+// queue/wall telemetry, pool busy-time — carry a //olap:allow
+// wallclock annotation, and the framework rejects annotations that
+// stop suppressing anything (internal/obs itself is the sanctioned
+// clock layer and is out of scope).
+var Wallclock = &lintkit.Analyzer{
+	Name:  "wallclock",
+	Doc:   "forbids time.Now/time.Since and unseeded math/rand in simulated paths",
+	Scope: simulatedScope,
+	Run:   runWallclock,
+}
+
+// bannedTimeFuncs reads the host clock; timer constructors do too.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Tick":  true,
+	"After": true,
+}
+
+// allowedRandFuncs construct explicitly seeded generators; everything
+// else at package level uses the shared global RNG.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runWallclock(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on *rand.Rand or time.Time) are fine
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the host clock inside a simulated path; results must be a pure function of query and machine model",
+						obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s uses the unseeded global RNG; construct rand.New(rand.NewSource(seed)) so runs are reproducible",
+						obj.Pkg().Name(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package relop
+
+import "sort"
+
+// SortedCols returns the column references in set — (table, column)
+// pairs as collected by Expr.Cols — filtered to table (or every table
+// when table < 0), in ascending (table, column) order. Column sets
+// are maps, and Go randomizes map iteration per run; anything that
+// turns a column set into probe events (scans, gathers, payload
+// loads) must walk it through this helper or the simulated cache
+// state — and with it the bit-identical profile guarantee — becomes a
+// function of iteration order. Enforced by olaplint's detrange.
+func SortedCols(set map[[2]int]bool, table int) [][2]int {
+	out := make([][2]int, 0, len(set))
+	for k := range set {
+		if table < 0 || k[0] == table {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

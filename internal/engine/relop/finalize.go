@@ -172,6 +172,8 @@ func chargeSort(p *probe.Probe, pl *Pipeline, kept int) {
 // additionally fold each row's output rank, so the checksum pins the
 // order itself. Every step is deterministic for any partitioning of
 // the driver — 1 worker or 16.
+//
+//olap:allow sectionpair opens "finalize" as the trailing section; the caller's Sections() closes it
 func FinalizeProbed(p *probe.Probe, pl *Pipeline, parts []*Partial) engine.Result {
 	if p != nil {
 		p.BeginSection("finalize")

@@ -2,7 +2,6 @@ package tectorwise
 
 import (
 	"fmt"
-	"sort"
 
 	"olapmicro/internal/engine"
 	"olapmicro/internal/engine/relop"
@@ -28,18 +27,6 @@ func (e *Engine) loadChunk(p *probe.Probe, c relop.Col, start int, cn uint64) {
 	} else {
 		e.vecLoad(p, c.Addr(start), cn)
 	}
-}
-
-// sortedCols orders a column set deterministically.
-func sortedCols(set map[[2]int]bool, table int) [][2]int {
-	var out [][2]int
-	for k := range set {
-		if k[0] == table {
-			out = append(out, k)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i][1] < out[j][1] })
-	return out
 }
 
 // prepared is a pipeline resolved against this engine with its build
@@ -128,7 +115,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 				end = bn
 			}
 			cn := uint64(end - start)
-			for _, k := range sortedCols(scanned, j.Build) {
+			for _, k := range relop.SortedCols(scanned, j.Build) {
 				e.loadChunk(p, b.Tables[k[0]][k[1]], start, cn)
 			}
 			e.arith(p, cn*(kAlu+fAlu))
@@ -149,7 +136,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 			e.primOverhead(p, cn)
 		}
 		var payload []relop.Col
-		for _, k := range sortedCols(downstream, j.Build) {
+		for _, k := range relop.SortedCols(downstream, j.Build) {
 			payload = append(payload, b.Tables[k[0]][k[1]])
 		}
 		pr.builds[ji] = relop.BuildState{HT: ht, RowOf: rowOf, Payload: payload}
@@ -165,7 +152,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 	for ci, cj := range pr.conjs {
 		set := map[[2]int]bool{}
 		cj.Cols(set)
-		pr.conjCols[ci] = sortedCols(set, 0)
+		pr.conjCols[ci] = relop.SortedCols(set, 0)
 		for k := range set {
 			filterSet[k] = true
 		}
@@ -174,7 +161,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 	for _, j := range pl.Joins {
 		j.ProbeKey.Cols(probeSet)
 	}
-	for _, k := range sortedCols(probeSet, 0) {
+	for _, k := range relop.SortedCols(probeSet, 0) {
 		if !filterSet[k] {
 			pr.probeCols = append(pr.probeCols, b.Tables[k[0]][k[1]])
 		}
@@ -188,7 +175,7 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 			a.Arg.Cols(aggSet)
 		}
 	}
-	for _, k := range sortedCols(aggSet, 0) {
+	for _, k := range relop.SortedCols(aggSet, 0) {
 		if !filterSet[k] && !probeSet[k] {
 			pr.aggCols = append(pr.aggCols, b.Tables[k[0]][k[1]])
 		}
@@ -248,6 +235,18 @@ type worker struct {
 	agg     *relop.AggState
 }
 
+// setRows positions every table's current row for one join match:
+// column 0 of the match vectors holds driver rows, column 1+ji the
+// rows of join ji's build side. A method rather than a closure inside
+// RunMorsel: the morsel loop is the hot path, and a closure literal
+// there allocates per chunk (olaplint's hotalloc).
+func (w *worker) setRows(matchCols [][]int32, pos int) {
+	w.rows[0] = int(matchCols[0][pos])
+	for ji := range w.pr.pl.Joins {
+		w.rows[w.pr.pl.Joins[ji].Build] = int(matchCols[1+ji][pos])
+	}
+}
+
 // NewWorker builds one worker's thread-local state; for grouped
 // queries that includes a private group table sized from the planner
 // estimate, merged with the other workers' tables after the scan.
@@ -266,6 +265,8 @@ func (pr *prepared) NewWorker(p *probe.Probe, as *probe.AddrSpace) relop.Worker 
 
 // RunMorsel executes driver rows [start, end) as a sequence of
 // vector-sized chunks through the engine's primitives.
+//
+//olap:allow sectionpair BeginSection is a section switch here; the last section stays open until Sections()
 func (w *worker) RunMorsel(start, end int) {
 	pr, pl, p, e := w.pr, w.pr.pl, w.p, w.pr.e
 	b := pr.b
@@ -375,14 +376,6 @@ func (w *worker) RunMorsel(start, end int) {
 		}
 		k = len(matchCols[0])
 
-		// setRows positions every table's current row for one match.
-		setRows := func(pos int) {
-			w.rows[0] = int(matchCols[0][pos])
-			for ji := range pl.Joins {
-				w.rows[pl.Joins[ji].Build] = int(matchCols[1+ji][pos])
-			}
-		}
-
 		// Aggregation inputs.
 		uk := uint64(k)
 		if len(pr.aggCols) > 0 {
@@ -406,7 +399,7 @@ func (w *worker) RunMorsel(start, end int) {
 			e.arith(p, uk*(pr.gAlu+uint64(len(pl.GroupBy)-1)))
 			e.mulArith(p, uk*pr.gMul)
 			for pos := 0; pos < k; pos++ {
-				setRows(pos)
+				w.setRows(matchCols, pos)
 				for gi, g := range pl.GroupBy {
 					ag.KeyVals[gi] = g.Eval(b, w.rows)
 				}
@@ -439,7 +432,7 @@ func (w *worker) RunMorsel(start, end int) {
 			e.primOverhead(p, uk*2)
 		} else {
 			for pos := 0; pos < k; pos++ {
-				setRows(pos)
+				w.setRows(matchCols, pos)
 				first := ag.Matched == 0
 				for ai, a := range pl.Aggs {
 					var v int64

@@ -97,7 +97,9 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 		scanned := map[[2]int]bool{}
 		j.BuildKey.Cols(scanned)
 		j.BuildFilter.Cols(scanned)
-		for k := range scanned {
+		// Sorted: the scan order of the build columns feeds the cache
+		// simulation, so it must not depend on map iteration order.
+		for _, k := range relop.SortedCols(scanned, -1) {
 			c := b.Tables[k[0]][k[1]]
 			p.SeqLoad(c.Base(), uint64(n)*c.ElemBytes(), c.ElemBytes())
 		}
@@ -122,10 +124,10 @@ func (e *Engine) PreparePipeline(p *probe.Probe, as *probe.AddrSpace, pl *relop.
 		}
 		e.loopTail(p, uint64(n))
 		var payload []relop.Col
-		for k := range downstream {
-			if k[0] == j.Build {
-				payload = append(payload, b.Tables[k[0]][k[1]])
-			}
+		// Sorted: payload order fixes the per-match load sequence the
+		// probe replays in the hot loop.
+		for _, k := range relop.SortedCols(downstream, j.Build) {
+			payload = append(payload, b.Tables[k[0]][k[1]])
 		}
 		pr.builds[ji] = relop.BuildState{HT: ht, RowOf: rowOf, Payload: payload}
 	}
@@ -265,6 +267,8 @@ func (w *worker) probeJoin(ji int) {
 // RunMorsel executes driver rows [start, end): the fused filter +
 // probes + aggregation pass of the compiled engine, restricted to one
 // cache-friendly slice of the scan.
+//
+//olap:allow sectionpair BeginSection is a section switch here; the last section stays open until Sections()
 func (w *worker) RunMorsel(start, end int) {
 	pr, pl, p := w.pr, w.pr.pl, w.p
 	n := uint64(end - start)

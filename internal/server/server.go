@@ -309,7 +309,7 @@ func (s *Server) QueryAsync(ctx context.Context, text string, opts ...SubmitOpti
 	}
 	s.mu.Unlock()
 
-	go s.run(t, text, sc, admitted, time.Now())
+	go s.run(t, text, sc, admitted, time.Now()) //olap:allow wallclock queue-latency telemetry timestamp
 	return t, nil
 }
 
@@ -427,7 +427,7 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 		}
 	}
 	qspan.End()
-	queued := time.Since(submitted)
+	queued := time.Since(submitted) //olap:allow wallclock queue-latency telemetry
 	s.tel.QueueMs.Observe(float64(queued) / float64(time.Millisecond))
 	if t.ctx.Err() != nil {
 		<-s.sem
@@ -436,7 +436,7 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 	}
 	resp, err := s.execute(t, text, sc, root)
 	root.End()
-	wall := time.Since(submitted)
+	wall := time.Since(submitted) //olap:allow wallclock wall-time telemetry
 	if resp != nil {
 		resp.Queued = queued
 		resp.Wall = wall
@@ -459,7 +459,7 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 	key := PlanKey(text, sc.engine, sc.threads)
 	c, hit := s.plans.get(key)
 	if !hit {
-		t0 := time.Now()
+		t0 := time.Now() //olap:allow wallclock compile-time telemetry
 		var err error
 		c, err = sql.Compile(s.cfg.Data, s.cfg.Machine, text,
 			sql.Options{Engine: sc.engine, Threads: sc.threads, Trace: plan})
@@ -467,7 +467,7 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 			plan.End()
 			return nil, err
 		}
-		s.tel.CompileMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		s.tel.CompileMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond)) //olap:allow wallclock compile-time telemetry
 		s.plans.put(key, c)
 	}
 	plan.Annotate("cache=%v", hit)

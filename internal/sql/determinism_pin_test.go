@@ -1,0 +1,71 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRepeatedAnalyzeBitIdentical pins the map-iteration-order fixes
+// behind relop.SortedCols and the planner's sortedTables: recompiling
+// and re-analyzing the same statement must reproduce the plan, the
+// result, the predicted and observed profiles and the per-operator
+// counters bit-for-bit. Before those fixes the typer replayed build-
+// column scans and join-payload gathers in Go's per-map randomized
+// iteration order, so the simulated cache state — and with it this
+// whole report — could differ from one compile to the next. The join
+// queries exercise every fixed site: multi-column build sides, join
+// payload ordering, and the planner's group-count estimate over a
+// table set.
+func TestRepeatedAnalyzeBitIdentical(t *testing.T) {
+	d, m := cv(t)
+	for _, tc := range []struct{ name, sql, engine string }{
+		{"Q3/typer", q3SQL, "typer"},
+		{"Q3/tectorwise", q3SQL, "tectorwise"},
+		{"Q18/typer", q18SQL, "typer"},
+		{"Q18/tectorwise", q18SQL, "tectorwise"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			type snap struct {
+				plan      string
+				result    any
+				predicted any
+				observed  any
+				ops       []OpProfile
+			}
+			var ref *snap
+			for i := 0; i < 3; i++ {
+				c, a, err := Run(d, m, "explain analyze "+tc.sql, Options{Engine: tc.engine})
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+				an := a.Analysis
+				got := &snap{
+					plan:      c.Explain(),
+					result:    a.Result,
+					predicted: an.Predicted,
+					observed:  an.Observed,
+					ops:       an.Ops,
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if got.plan != ref.plan {
+					t.Errorf("run %d: plan differs from run 0:\n--- run 0:\n%s\n--- run %d:\n%s", i, ref.plan, i, got.plan)
+				}
+				if !reflect.DeepEqual(got.result, ref.result) {
+					t.Errorf("run %d: result differs from run 0: %v vs %v", i, got.result, ref.result)
+				}
+				if !reflect.DeepEqual(got.predicted, ref.predicted) {
+					t.Errorf("run %d: predicted profile differs from run 0", i)
+				}
+				if !reflect.DeepEqual(got.observed, ref.observed) {
+					t.Errorf("run %d: observed profile differs from run 0 (map-ordered probe events?)", i)
+				}
+				if !reflect.DeepEqual(got.ops, ref.ops) {
+					t.Errorf("run %d: per-operator counters differ from run 0", i)
+				}
+			}
+		})
+	}
+}

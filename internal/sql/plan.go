@@ -1,6 +1,8 @@
 package sql
 
 import (
+	"sort"
+
 	"olapmicro/internal/engine/relop"
 	"olapmicro/internal/storage"
 	"olapmicro/internal/tpch"
@@ -145,6 +147,20 @@ func predTables(p *relop.Pred) map[int]bool {
 	set := map[int]bool{}
 	p.Tables(set)
 	return set
+}
+
+// sortedTables returns the table ids in set in ascending order. Table
+// sets are maps; any decision that depends on which tables appear —
+// predicate pushdown targets, group-count estimates — must walk them
+// in this fixed order or the plan (and its predicted profile) varies
+// run to run. Enforced by olaplint's detrange.
+func sortedTables(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // flattenAnd splits an AST predicate into conjuncts.
@@ -331,10 +347,7 @@ func BuildPipeline(d *tpch.Data, stmt *Select) (*relop.Pipeline, error) {
 			case len(tabs) == 0 || tabs[0] && len(tabs) == 1:
 				pl.Filter = andPred(pl.Filter, bp)
 			case len(tabs) == 1:
-				var only int
-				for t := range tabs {
-					only = t
-				}
+				only := sortedTables(tabs)[0]
 				ji := -1
 				for i := range pl.Joins {
 					if pl.Joins[i].Build == only {
@@ -629,7 +642,7 @@ func estimate(pl *relop.Pipeline, b *binder, d *tpch.Data) {
 		// the referenced build sides' cardinalities (and by the probe
 		// stream, for mixed keys).
 		est := 64
-		for t := range refTables {
+		for _, t := range sortedTables(refTables) {
 			if t != 0 && pl.Tables[t].Rows > est {
 				est = pl.Tables[t].Rows
 			}
