@@ -1,16 +1,20 @@
 // Server benchmarks and the perf-regression baseline. The repeated-
 // query workload (a small set of distinct statements, many
 // submissions each) runs through the concurrent query server at 1, 4
-// and 8 streams:
+// and 8 streams, once in measured mode and once in profile-free fast
+// mode:
 //
 //	go test -bench Server -benchtime=1x
 //
 // measures it, and both the benchmarks and TestServerBenchBaseline
 // rewrite BENCH_server.json — queries/sec per stream count, simulated
-// per-query cost, and the plan-cache hit rate — so future changes
-// have a trajectory to compare against. Wall-clock rates are
-// host-dependent; the simulated per-query milliseconds and the hit
-// rates are deterministic.
+// per-query cost, and the plan-cache hit rate for both series, plus
+// the fast-over-measured throughput ratio — so future changes have a
+// trajectory to compare against. Wall-clock rates are host-dependent;
+// the simulated per-query milliseconds and the hit rates are
+// deterministic. The fast series is the regression gate: fast mode
+// exists to strip the simulation cost, so its single-stream
+// throughput must stay >= 50x the measured baseline's.
 package olapmicro
 
 import (
@@ -72,7 +76,8 @@ type streamPoint struct {
 	QueueP99Ms  float64 `json:"queue_p99_ms"`
 }
 
-// benchBaseline is the BENCH_server.json document.
+// benchBaseline is the BENCH_server.json document. Schema 3 added the
+// fast-mode series and the fast-over-measured throughput ratio.
 type benchBaseline struct {
 	Schema   int           `json:"schema"`
 	Workload string        `json:"workload"`
@@ -81,13 +86,20 @@ type benchBaseline struct {
 	Workers  int           `json:"workers"`
 	Threads  int           `json:"query_threads"`
 	Streams  []streamPoint `json:"streams"`
+	// FastStreams is the same sweep submitted with WithFast: identical
+	// results, no simulation, so wall throughput is the executor's own.
+	FastStreams []streamPoint `json:"fast_streams"`
+	// FastSpeedup is single-stream fast wall-qps over single-stream
+	// measured wall-qps — the ratio the regression gate pins.
+	FastSpeedup float64 `json:"fast_speedup_x"`
 }
 
 // runServerWorkload pushes reps rounds of the workload through a
-// fresh server at the given stream count and reports the sweep point.
-// One synchronous pass primes the plan cache so hit rates compare
-// across stream counts.
-func runServerWorkload(tb testing.TB, streams, reps int) streamPoint {
+// fresh server at the given stream count and reports the sweep point,
+// submitting in fast mode when fast is set. One synchronous pass in
+// the same mode primes the plan cache (and, for fast, the compiled
+// fast plans) so hit rates compare across stream counts.
+func runServerWorkload(tb testing.TB, streams, reps int, fast bool) streamPoint {
 	tb.Helper()
 	d, m := benchServerDB()
 	srv, err := server.New(server.Config{
@@ -99,9 +111,13 @@ func runServerWorkload(tb testing.TB, streams, reps int) streamPoint {
 		tb.Fatal(err)
 	}
 	defer srv.Close()
+	var opts []server.SubmitOption
+	if fast {
+		opts = append(opts, server.WithFast())
+	}
 	ctx := context.Background()
 	for _, q := range serverBenchWorkload {
-		if _, err := srv.Submit(ctx, q); err != nil {
+		if _, err := srv.Submit(ctx, q, opts...); err != nil {
 			tb.Fatal(err)
 		}
 	}
@@ -118,9 +134,13 @@ func runServerWorkload(tb testing.TB, streams, reps int) streamPoint {
 			defer wg.Done()
 			for rep := 0; rep < reps; rep++ {
 				q := serverBenchWorkload[(s+rep)%len(serverBenchWorkload)]
-				resp, err := srv.Submit(ctx, q)
+				resp, err := srv.Submit(ctx, q, opts...)
 				if err != nil {
 					tb.Errorf("streams %d: %v", streams, err)
+					return
+				}
+				if resp.Fast != fast {
+					tb.Errorf("streams %d: response fast=%v, want %v", streams, resp.Fast, fast)
 					return
 				}
 				mu.Lock()
@@ -154,21 +174,29 @@ func runServerWorkload(tb testing.TB, streams, reps int) streamPoint {
 	return p
 }
 
-// writeServerBaseline measures every stream count and rewrites
-// BENCH_server.json.
-func writeServerBaseline(tb testing.TB, reps int) benchBaseline {
+// writeServerBaseline measures every stream count in both modes and
+// rewrites BENCH_server.json. Fast executions finish in microseconds,
+// so the fast series runs fastReps submissions per stream to get a
+// stable wall-clock rate.
+func writeServerBaseline(tb testing.TB, reps, fastReps int) benchBaseline {
 	tb.Helper()
 	_, m := benchServerDB()
 	doc := benchBaseline{
-		Schema:   2,
-		Workload: fmt.Sprintf("%d distinct statements, %d submissions per stream, plan cache primed", len(serverBenchWorkload), reps),
+		Schema:   3,
+		Workload: fmt.Sprintf("%d distinct statements, %d measured / %d fast submissions per stream, plan cache primed", len(serverBenchWorkload), reps, fastReps),
 		Machine:  m.Name,
 		SF:       0.02,
 		Workers:  4,
 		Threads:  2,
 	}
 	for _, streams := range []int{1, 4, 8} {
-		doc.Streams = append(doc.Streams, runServerWorkload(tb, streams, reps))
+		doc.Streams = append(doc.Streams, runServerWorkload(tb, streams, reps, false))
+	}
+	for _, streams := range []int{1, 4, 8} {
+		doc.FastStreams = append(doc.FastStreams, runServerWorkload(tb, streams, fastReps, true))
+	}
+	if doc.Streams[0].WallQPS > 0 {
+		doc.FastSpeedup = doc.FastStreams[0].WallQPS / doc.Streams[0].WallQPS
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -180,24 +208,30 @@ func writeServerBaseline(tb testing.TB, reps int) benchBaseline {
 	return doc
 }
 
+// fastSpeedupFloor is the regression gate on the fast path: the whole
+// point of profile-free execution is shedding the simulation cost, so
+// single-stream fast throughput must stay at least this many times the
+// measured baseline's. Both rates come from the same host in the same
+// run, so the ratio is robust to machine speed.
+const fastSpeedupFloor = 50.0
+
 // TestServerBenchBaseline produces the baseline during plain `go
 // test` and pins its invariants: every sweep point serves the whole
-// workload and hits the primed plan cache.
+// workload and hits the primed plan cache, the measured series carries
+// simulated profiles and the fast series none, and the fast series
+// clears the throughput floor.
 func TestServerBenchBaseline(t *testing.T) {
-	reps := 6
+	reps, fastReps := 6, 120
 	if testing.Short() {
-		reps = 2
+		reps, fastReps = 2, 40
 	}
-	doc := writeServerBaseline(t, reps)
-	if len(doc.Streams) != 3 {
-		t.Fatalf("want 3 sweep points, got %d", len(doc.Streams))
+	doc := writeServerBaseline(t, reps, fastReps)
+	if len(doc.Streams) != 3 || len(doc.FastStreams) != 3 {
+		t.Fatalf("want 3 sweep points per series, got %d measured + %d fast", len(doc.Streams), len(doc.FastStreams))
 	}
 	for _, p := range doc.Streams {
 		if p.Queries != p.Streams*reps {
 			t.Errorf("streams %d: served %d, want %d", p.Streams, p.Queries, p.Streams*reps)
-		}
-		if p.PlanHitRate <= 0 {
-			t.Errorf("streams %d: plan-cache hit rate %.2f must be > 0 on the repeated workload", p.Streams, p.PlanHitRate)
 		}
 		if p.SimMsMean <= 0 {
 			t.Errorf("streams %d: simulated per-query cost missing", p.Streams)
@@ -205,32 +239,64 @@ func TestServerBenchBaseline(t *testing.T) {
 		if p.WallP50Ms <= 0 {
 			t.Errorf("streams %d: wall p50 missing (latency histograms not fed)", p.Streams)
 		}
-		if p.WallP95Ms < p.WallP50Ms || p.WallP99Ms < p.WallP95Ms {
-			t.Errorf("streams %d: wall percentiles not monotone: p50=%.3f p95=%.3f p99=%.3f",
-				p.Streams, p.WallP50Ms, p.WallP95Ms, p.WallP99Ms)
+		checkSweepPoint(t, "measured", p)
+	}
+	for _, p := range doc.FastStreams {
+		if p.Queries != p.Streams*fastReps {
+			t.Errorf("fast streams %d: served %d, want %d", p.Streams, p.Queries, p.Streams*fastReps)
 		}
-		if p.QueueP95Ms < p.QueueP50Ms || p.QueueP99Ms < p.QueueP95Ms {
-			t.Errorf("streams %d: queue percentiles not monotone: p50=%.3f p95=%.3f p99=%.3f",
-				p.Streams, p.QueueP50Ms, p.QueueP95Ms, p.QueueP99Ms)
+		if p.SimMsMean != 0 {
+			t.Errorf("fast streams %d: simulated cost %.4f ms leaked into profile-free mode", p.Streams, p.SimMsMean)
 		}
+		checkSweepPoint(t, "fast", p)
+	}
+	if doc.FastSpeedup < fastSpeedupFloor {
+		t.Errorf("fast mode speedup %.1fx below the %.0fx floor (measured %.1f qps, fast %.1f qps)",
+			doc.FastSpeedup, fastSpeedupFloor, doc.Streams[0].WallQPS, doc.FastStreams[0].WallQPS)
 	}
 }
 
-// BenchmarkServerStreams measures wall queries/sec per stream count;
-// -benchtime=1x gives one full workload pass. The final sub-benchmark
-// also rewrites BENCH_server.json so `go test -bench Server` emits
-// the baseline too.
+// checkSweepPoint pins the invariants both series share.
+func checkSweepPoint(t *testing.T, series string, p streamPoint) {
+	t.Helper()
+	if p.PlanHitRate <= 0 {
+		t.Errorf("%s streams %d: plan-cache hit rate %.2f must be > 0 on the repeated workload", series, p.Streams, p.PlanHitRate)
+	}
+	if p.WallP95Ms < p.WallP50Ms || p.WallP99Ms < p.WallP95Ms {
+		t.Errorf("%s streams %d: wall percentiles not monotone: p50=%.3f p95=%.3f p99=%.3f",
+			series, p.Streams, p.WallP50Ms, p.WallP95Ms, p.WallP99Ms)
+	}
+	if p.QueueP95Ms < p.QueueP50Ms || p.QueueP99Ms < p.QueueP95Ms {
+		t.Errorf("%s streams %d: queue percentiles not monotone: p50=%.3f p95=%.3f p99=%.3f",
+			series, p.Streams, p.QueueP50Ms, p.QueueP95Ms, p.QueueP99Ms)
+	}
+}
+
+// BenchmarkServerStreams measures wall queries/sec per stream count in
+// both modes; -benchtime=1x gives one full workload pass. The final
+// sub-benchmark also rewrites BENCH_server.json so `go test -bench
+// Server` emits the baseline too.
 func BenchmarkServerStreams(b *testing.B) {
 	for _, streams := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
 			var last streamPoint
 			for i := 0; i < b.N; i++ {
-				last = runServerWorkload(b, streams, 6)
+				last = runServerWorkload(b, streams, 6, false)
 			}
 			b.ReportMetric(last.WallQPS, "wall-q/s")
 			b.ReportMetric(last.SimMsMean, "sim-ms/query")
 			b.ReportMetric(last.PlanHitRate, "hit-rate")
 		})
 	}
-	writeServerBaseline(b, 6)
+	for _, streams := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("fast/streams=%d", streams), func(b *testing.B) {
+			var last streamPoint
+			for i := 0; i < b.N; i++ {
+				last = runServerWorkload(b, streams, 120, true)
+			}
+			b.ReportMetric(last.WallQPS, "wall-q/s")
+			b.ReportMetric(last.PlanHitRate, "hit-rate")
+		})
+	}
+	writeServerBaseline(b, 6, 120)
 }

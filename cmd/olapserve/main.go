@@ -7,12 +7,27 @@
 //
 //	submit <sql>    accept; "ok id=N" now, "result id=N ..." when done
 //	query <sql>     synchronous submit: block and print the result
+//	prepare <name> <sql>
+//	                register a parameterized statement (`?`
+//	                placeholders) under a session-local name
+//	execute <name> [args...]
+//	                submit the prepared statement with one integer
+//	                argument per placeholder (dates as days since
+//	                the TPC-H epoch, 1992-01-01); asynchronous like
+//	                submit
+//	fast on|off     toggle profile-free fast mode for this session's
+//	                later submissions (bit-identical results, no
+//	                simulated profile; result lines carry fast=true)
 //	cancel <id>     cancel a pending submission
 //	stats           print the service counters (plan-cache hit rate,
 //	                in-flight/queued/rejected, pool shape)
 //	metrics         print the Prometheus text exposition
 //	wait            block until this session's submissions finish
 //	quit            wait, then exit (EOF does the same)
+//
+// Literal statements are auto-parameterized into templates before the
+// plan cache is consulted, so a workload that varies only its literals
+// compiles once and then executes from the cache.
 //
 // With -metrics an HTTP listener additionally serves GET /metrics
 // (the same Prometheus exposition) and the standard /debug/pprof

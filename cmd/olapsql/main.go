@@ -23,6 +23,10 @@
 //	                       cycle breakdown next to the prediction
 //	\engine typer          force an engine (typer/tectorwise/auto)
 //	\threads 8             morsel-driven parallel execution on 8 workers
+//	\fast                  toggle profile-free fast mode: statements
+//	                       execute without the micro-architectural
+//	                       simulation (bit-identical results, no
+//	                       profile, host-speed execution)
 //	\timing                toggle printing host wall time per statement
 //	\tables                list the queryable schema
 //	\help                  this text
@@ -61,6 +65,8 @@ commands:
                          top-down cycle breakdown
   \engine <name>         force engine: typer, tectorwise or auto
   \threads <n>           execute with n parallel workers (1 = serial)
+  \fast                  toggle profile-free fast mode (no simulation,
+                         bit-identical results, no profile)
   \timing                toggle printing host wall time per statement
   \tables                list the queryable schema
   \help                  this text
@@ -129,6 +135,9 @@ func main() {
 			s.setEngine(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\engine")))
 		case strings.HasPrefix(trimmed, "\\threads"):
 			s.setThreads(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\threads")))
+		case trimmed == "\\fast":
+			s.fast = !s.fast
+			fmt.Printf("fast %s\n", map[bool]string{true: "on", false: "off"}[s.fast])
 		case trimmed == "\\timing":
 			s.timing = !s.timing
 			fmt.Printf("timing %s\n", map[bool]string{true: "on", false: "off"}[s.timing])
@@ -159,6 +168,7 @@ type shell struct {
 	h       *harness.Harness
 	engine  string
 	threads int
+	fast    bool
 	timing  bool
 	status  int
 }
@@ -238,6 +248,9 @@ func (s *shell) run(text string) {
 // the measured top-down breakdown next to the prediction.
 func (s *shell) exec(text string, profile bool) {
 	start := time.Now()
+	if s.fast && !profile && s.execFast(text, start) {
+		return
+	}
 	c, a, err := sql.Run(s.h.Data, s.h.Cfg.Machine, text, sql.Options{Engine: s.engine, Threads: s.threads})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -272,6 +285,36 @@ func (s *shell) exec(text string, profile bool) {
 		fmt.Printf("predicted: %s\n", a.Predicted.Breakdown)
 		fmt.Print(c.Explain())
 	}
+}
+
+// execFast runs one statement in profile-free fast mode and reports
+// whether it fully handled it. EXPLAIN and EXPLAIN ANALYZE exist to
+// show plans and profiles, so they fall back to the measured path
+// (reported by returning false) even while \fast is on.
+func (s *shell) execFast(text string, start time.Time) bool {
+	c, err := sql.Compile(s.h.Data, s.h.Cfg.Machine, text, sql.Options{Engine: s.engine, Threads: s.threads})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		s.status = 1
+		return true
+	}
+	if c.Stmt.Explain || c.Stmt.Analyze {
+		return false
+	}
+	r, err := c.ExecuteFast(s.threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		s.status = 1
+		return true
+	}
+	fmt.Printf("sum=%d rows=%d check=%016x\n", r.Sum, r.Rows, r.Check)
+	fmt.Printf("engine=%s fast=true threads=%d (executed in %v, no profile)\n",
+		c.Engine, c.Threads, time.Since(start).Round(time.Microsecond))
+	if s.timing {
+		fmt.Printf("Time: %.3f ms (host wall)\n",
+			float64(time.Since(start))/float64(time.Millisecond))
+	}
+	return true
 }
 
 // printTables lists the catalog the way \tables expects it.

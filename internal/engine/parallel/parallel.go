@@ -235,6 +235,27 @@ func NewWorkers(m *hw.Machine, pf mem.PrefetcherConfig, as *probe.AddrSpace, pre
 	return probes, workers
 }
 
+// NewFastWorkers builds the worker fleet of a profile-free fast run:
+// the same address-space forks and worker shape as NewWorkers (thread
+// count clamped to the morsel count the same way), but no probes —
+// every worker runs with a nil probe, whose event hooks are no-ops.
+// The real computation, morsel partition and merge are untouched, so
+// a fast run's result is bit-identical to a measured run's; it simply
+// has no simulated cores to account.
+func NewFastWorkers(as *probe.AddrSpace, prep relop.Prepared, morsels []Morsel, threads int, name string) []relop.Worker {
+	if len(morsels) > 0 && threads > len(morsels) {
+		threads = len(morsels)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	workers := make([]relop.Worker, threads)
+	for t := 0; t < threads; t++ {
+		workers[t] = prep.NewWorker(nil, as.Fork(fmt.Sprintf("%s%d", name, t), WorkerWindow))
+	}
+	return workers
+}
+
 // Assemble accounts one completed morsel-driven run from its probes:
 // the build probe's serial span (which must already include the
 // finalize work) plus every worker probe under the shared-socket

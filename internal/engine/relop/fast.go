@@ -1,0 +1,1654 @@
+// fast.go is the profile-free vectorized executor behind fast mode.
+//
+// CompileFast lowers a join-free Pipeline onto flat column slices and
+// closure-compiled vector kernels: filter conjuncts compact a selection
+// vector branchlessly, expressions evaluate chunk-at-a-time into reused
+// buffers, and grouping runs an open-addressing table hashed on the
+// same mixed GroupKey the engines bucket with (group identity stays the
+// full key tuple). No probes, no simulated events, no per-row
+// interpretation — this is what the same scan costs when only the
+// answer matters, the headroom the measured profiles quantify.
+//
+// The partials it produces feed the shared FinalizeProbed, so a fast
+// Result is bit-identical to a measured run's at any thread count or
+// partitioning: integer aggregation commutes (sums wrap, min/max/count
+// are order-free) and the result checksum is order-insensitive by
+// construction. Pipelines with joins compile to no plan; fast execution
+// then falls back to the engines' nil-probe worker path, which runs
+// every shape.
+package relop
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"olapmicro/internal/engine"
+)
+
+// fastChunk is the scan granularity: per-chunk buffers stay resident in
+// the host caches while bookkeeping amortizes over enough rows to
+// vanish.
+const fastChunk = 1024
+
+// fastHashMul spreads mixed group keys over the open-addressing table
+// (Fibonacci hashing; the table's own GroupKey mix only combines the
+// key tuple).
+const fastHashMul = 0x9E3779B97F4A7C15
+
+// vecKernel evaluates an expression for every listed row into out
+// (len(out) == len(rows)).
+type vecKernel func(w *fastWorker, rows []int32, out []int64)
+
+// selKernel refines a selection in place and returns the kept prefix.
+type selKernel func(w *fastWorker, rows []int32) []int32
+
+// rangeSelKernel runs the first filter conjunct directly over a row
+// range: sequential column access, no materialized row list to gather
+// through.
+type rangeSelKernel func(lo, hi int32, out []int32) []int32
+
+// FastPlan is a join-free pipeline compiled for probe-free execution.
+// It is immutable after CompileFast and safe for any number of
+// concurrent Execute calls; workers (selection vectors, value buffers,
+// group tables) are pooled and reset between executions.
+type FastPlan struct {
+	pl       *Pipeline
+	rows     int
+	grouped  bool
+	nkeys    int
+	tableCap uint64
+	filter0  rangeSelKernel
+	filter   []selKernel
+	keys     []vecKernel
+	aggs     []fastAgg
+	nbufs    int
+	pool     sync.Pool
+	// dense direct-indexes groups when every group key is a bare
+	// byte-width column (flag/status/key columns — the common analytic
+	// grouping): the packed key bytes address a flat table, no hashing.
+	dense *denseKeys
+	// fused collapses the whole pipeline into one pass when the plan is
+	// dense-grouped, every filter conjunct is a span test, and every
+	// aggregate is COUNT or a bare-column SUM: per row, a branchless
+	// filter bit masks the addends into code-indexed accumulators, so no
+	// selection vector or slot table ever materializes.
+	fused *fusedDense
+}
+
+// fusedDense is the compiled one-pass form: the packed byte key
+// columns, the normalized filter spans, and the aggregates split by
+// addend source (COUNT adds the filter bit itself).
+type fusedDense struct {
+	k0, k1 []byte
+	conds  []spanCond
+	sums   []fusedCol64
+	sums8  []fusedCol8
+	counts []int // aggregate indexes
+	size   int   // code space: 256 for one key, 65536 for two
+}
+
+type fusedCol64 struct {
+	agg int
+	v   []int64
+}
+
+type fusedCol8 struct {
+	agg int
+	v   []byte
+}
+
+// denseKeys holds the raw byte columns of a direct-indexed grouping;
+// k1 is nil for a single key.
+type denseKeys struct {
+	k0, k1 []byte
+}
+
+// fastAgg is one compiled aggregate: COUNT ignores its argument (the
+// engines' Fold does too), a bare-column argument folds directly from
+// the column, anything else evaluates through its kernel first.
+type fastAgg struct {
+	kind AggKind
+	arg  vecKernel
+	i64  []int64
+	i8   []byte
+	seed int64
+}
+
+// CompileFast compiles pl, resolved against b, into a vectorized
+// probe-free executor. It returns nil when the pipeline's shape is not
+// specialized — joins, or a driver too large for 32-bit row indexes —
+// and the caller falls back to the engines' nil-probe path.
+func CompileFast(pl *Pipeline, b *Bound) *FastPlan {
+	if len(pl.Joins) > 0 || pl.Tables[0].Rows > math.MaxInt32 {
+		return nil
+	}
+	fc := &fastCompiler{b: b, ok: true}
+	p := &FastPlan{
+		pl:      pl,
+		rows:    pl.Tables[0].Rows,
+		grouped: len(pl.GroupBy) > 0,
+		nkeys:   len(pl.GroupBy),
+	}
+	conds, rest, never := fc.pred(pl.Filter)
+	for _, g := range pl.GroupBy {
+		p.keys = append(p.keys, fc.kernel(fc.expr(g)))
+	}
+	if p.grouped && p.nkeys <= 2 {
+		cols := make([][]byte, 0, 2)
+		for _, g := range pl.GroupBy {
+			if g.Op != OpCol || g.Tab != 0 {
+				break
+			}
+			if c := b.Tables[0][g.Col]; c.Kind == I8 {
+				cols = append(cols, c.I8.V)
+			}
+		}
+		if len(cols) == p.nkeys {
+			p.dense = &denseKeys{k0: cols[0]}
+			if p.nkeys == 2 {
+				p.dense.k1 = cols[1]
+			}
+		}
+	}
+	for _, a := range pl.Aggs {
+		fa := fastAgg{kind: a.Kind}
+		switch a.Kind {
+		case AggMin:
+			fa.seed = math.MaxInt64
+		case AggMax:
+			fa.seed = math.MinInt64
+		}
+		if a.Kind != AggCount {
+			if a.Arg == nil {
+				fc.ok = false
+				break
+			}
+			fe := fc.expr(a.Arg)
+			fa.i64, fa.i8 = fe.i64, fe.i8
+			if fa.i64 == nil && fa.i8 == nil {
+				fa.arg = fc.kernel(fe)
+			}
+		}
+		p.aggs = append(p.aggs, fa)
+	}
+	if !fc.ok {
+		return nil
+	}
+	switch {
+	case never:
+		// Some conjunct excludes every present value: nothing matches,
+		// whatever the other conjuncts say.
+		p.filter0 = neverMatch
+	case len(rest) == 0:
+		p.fused = p.fuse(conds)
+	}
+	if p.filter0 == nil && p.fused == nil {
+		p.filter0, p.filter = stageSpans(conds, rest)
+	}
+	p.nbufs = fc.nbufs
+	// Size the group table from the planner estimate, capped so a wild
+	// overestimate doesn't cost a huge zeroing on every worker reset;
+	// growth rehashes geometrically past the cap.
+	est := pl.EstGroups
+	if est < 4 {
+		est = 4
+	}
+	cap := uint64(16)
+	for cap < uint64(est)*2 && cap < 1<<16 {
+		cap <<= 1
+	}
+	p.tableCap = cap
+	return p
+}
+
+// fuse lowers the plan to its one-pass dense form, or nil when the
+// shape doesn't qualify. COUNT and bare-column SUM are the aggregates
+// a filter bit can mask (their seed is 0 and a masked addend of 0 is a
+// no-op); MIN/MAX and computed arguments keep the staged path.
+func (p *FastPlan) fuse(conds []spanCond) *fusedDense {
+	if p.dense == nil {
+		return nil
+	}
+	size := 256
+	if p.dense.k1 != nil {
+		size = 1 << 16
+	}
+	f := &fusedDense{k0: p.dense.k0, k1: p.dense.k1, conds: conds, size: size}
+	for ai := range p.aggs {
+		a := &p.aggs[ai]
+		switch {
+		case a.kind == AggCount:
+			f.counts = append(f.counts, ai)
+		case a.kind == AggSum && a.i64 != nil:
+			f.sums = append(f.sums, fusedCol64{ai, a.i64})
+		case a.kind == AggSum && a.i8 != nil:
+			f.sums8 = append(f.sums8, fusedCol8{ai, a.i8})
+		default:
+			return nil
+		}
+	}
+	return f
+}
+
+// Execute runs the plan on up to threads workers over contiguous row
+// ranges and returns the finalized result plus the worker count used.
+// Any partitioning yields the identical Result (see the file comment),
+// so the thread count is purely a latency knob.
+func (p *FastPlan) Execute(threads int) (engine.Result, int) {
+	maxw := (p.rows + fastChunk - 1) / fastChunk
+	if threads > maxw {
+		threads = maxw
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads == 1 {
+		w := p.worker()
+		w.run(0, p.rows)
+		res := FinalizeProbed(nil, p.pl, []*Partial{w.partial()})
+		p.pool.Put(w)
+		return res, 1
+	}
+	workers := make([]*fastWorker, threads)
+	parts := make([]*Partial, threads)
+	per := (p.rows + threads - 1) / threads
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo := t * per
+		hi := lo + per
+		if hi > p.rows {
+			hi = p.rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			w := p.worker()
+			w.run(lo, hi)
+			workers[t] = w
+			parts[t] = w.partial()
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	res := FinalizeProbed(nil, p.pl, parts)
+	for _, w := range workers {
+		if w != nil {
+			p.pool.Put(w)
+		}
+	}
+	return res, threads
+}
+
+// worker takes a pooled worker (reset) or builds a fresh one.
+func (p *FastPlan) worker() *fastWorker {
+	if w, ok := p.pool.Get().(*fastWorker); ok {
+		w.reset()
+		return w
+	}
+	w := &fastWorker{
+		p:      p,
+		selBuf: make([]int32, fastChunk),
+		val:    make([]int64, fastChunk),
+		scalar: make([]int64, len(p.aggs)),
+	}
+	switch {
+	case p.fused != nil:
+		w.fAcc = make([][]int64, len(p.aggs))
+		for ai := range w.fAcc {
+			w.fAcc[ai] = make([]int64, p.fused.size)
+		}
+		w.fSeen = make([]byte, p.fused.size)
+	case p.grouped:
+		w.slots = make([]int32, fastChunk)
+		w.mix = make([]int64, fastChunk)
+		w.keyBufs = make([][]int64, p.nkeys)
+		for k := range w.keyBufs {
+			w.keyBufs[k] = make([]int64, fastChunk)
+		}
+		w.groups.init(p)
+		if p.dense != nil {
+			size := 256
+			if p.dense.k1 != nil {
+				size = 1 << 16
+			}
+			w.denseTab = make([]int32, size)
+		}
+	}
+	w.scratch = make([][]int64, p.nbufs)
+	for i := range w.scratch {
+		w.scratch[i] = make([]int64, fastChunk)
+	}
+	w.resetScalars()
+	return w
+}
+
+// fastWorker is one execution's thread-local state: selection and value
+// buffers plus the private aggregation table, merged by FinalizeProbed
+// exactly like an engine worker's partial.
+type fastWorker struct {
+	p       *FastPlan
+	selBuf  []int32
+	slots   []int32
+	mix     []int64
+	val     []int64
+	keyBufs [][]int64
+	scratch [][]int64
+	groups  fastGroups
+	scalar  []int64
+	matched int64
+	// denseTab direct-indexes packed byte keys to group index + 1;
+	// touched lists the occupied codes so reset is proportional to the
+	// group count, not the table size.
+	denseTab []int32
+	touched  []int32
+	// fused plans accumulate straight into code-indexed tables: fAcc is
+	// [aggregate][code], fSeen marks codes with at least one passing
+	// row, fTouched lists them in first-seen order.
+	fAcc     [][]int64
+	fSeen    []byte
+	fTouched []int32
+}
+
+func (w *fastWorker) reset() {
+	w.matched = 0
+	w.resetScalars()
+	if w.p.fused != nil {
+		for _, c := range w.fTouched {
+			for ai := range w.fAcc {
+				w.fAcc[ai][c] = 0
+			}
+			w.fSeen[c] = 0
+		}
+		w.fTouched = w.fTouched[:0]
+		return
+	}
+	if w.p.grouped {
+		w.groups.reset()
+		for _, d := range w.touched {
+			w.denseTab[d] = 0
+		}
+		w.touched = w.touched[:0]
+	}
+}
+
+func (w *fastWorker) resetScalars() {
+	for ai := range w.scalar {
+		w.scalar[ai] = w.p.aggs[ai].seed
+	}
+}
+
+// run scans driver rows [start, end) chunk by chunk: filter to a
+// selection vector, then fold the survivors.
+func (w *fastWorker) run(start, end int) {
+	p := w.p
+	if p.fused != nil {
+		w.runFused(start, end)
+		return
+	}
+	for lo := start; lo < end; lo += fastChunk {
+		hi := lo + fastChunk
+		if hi > end {
+			hi = end
+		}
+		var sel []int32
+		if p.filter0 != nil {
+			sel = p.filter0(int32(lo), int32(hi), w.selBuf)
+		} else {
+			sel = w.selBuf[:hi-lo]
+			for i := range sel {
+				sel[i] = int32(lo + i)
+			}
+		}
+		for _, f := range p.filter {
+			if len(sel) == 0 {
+				break
+			}
+			sel = f(w, sel)
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		w.matched += int64(len(sel))
+		if p.grouped {
+			w.foldGroups(sel)
+		} else {
+			w.foldScalar(sel)
+		}
+	}
+}
+
+// foldScalar accumulates one chunk's selected rows into the scalar
+// aggregates.
+func (w *fastWorker) foldScalar(sel []int32) {
+	n := len(sel)
+	for ai := range w.p.aggs {
+		a := &w.p.aggs[ai]
+		switch {
+		case a.kind == AggCount:
+			w.scalar[ai] += int64(n)
+		case a.i64 != nil:
+			w.scalar[ai] = foldDirect(a.kind, w.scalar[ai], a.i64, sel)
+		case a.i8 != nil:
+			w.scalar[ai] = foldDirect(a.kind, w.scalar[ai], a.i8, sel)
+		default:
+			vals := w.val[:n]
+			a.arg(w, sel, vals)
+			w.scalar[ai] = foldVals(a.kind, w.scalar[ai], vals)
+		}
+	}
+}
+
+// foldGroups resolves one chunk's selected rows to group slots and
+// folds every aggregate column-at-a-time.
+func (w *fastWorker) foldGroups(sel []int32) {
+	p := w.p
+	n := len(sel)
+	slots := w.slots[:n]
+	if p.dense != nil {
+		w.denseSlots(sel, slots)
+	} else {
+		w.hashSlots(sel, slots)
+	}
+	w.foldGroupAggs(sel, slots)
+}
+
+// hashSlots resolves rows to group slots through the open-addressing
+// table on the mixed key.
+func (w *fastWorker) hashSlots(sel, slots []int32) {
+	p := w.p
+	n := len(sel)
+	for k := range p.keys {
+		p.keys[k](w, sel, w.keyBufs[k][:n])
+	}
+	// The same mixed key GroupKey folds, vectorized over the chunk.
+	mix := w.mix[:n]
+	copy(mix, w.keyBufs[0][:n])
+	for k := 1; k < p.nkeys; k++ {
+		kb := w.keyBufs[k][:n]
+		for i := range mix {
+			mix[i] = mix[i]*1_000_003 + kb[i]
+		}
+	}
+	g := &w.groups
+	for i := 0; i < n; i++ {
+		slots[i] = g.findOrInsert(mix[i], w.keyBufs, i)
+	}
+}
+
+// denseSlots resolves rows to group slots by direct-indexing the
+// packed byte keys — a load and a test per row, no hashing.
+func (w *fastWorker) denseSlots(sel, slots []int32) {
+	d := w.p.dense
+	g := &w.groups
+	tab := w.denseTab
+	k0 := d.k0
+	if d.k1 == nil {
+		for i, r := range sel {
+			c := int32(k0[r])
+			t := tab[c]
+			if t == 0 {
+				t = g.denseInsert(int64(k0[r]))
+				tab[c] = t
+				w.touched = append(w.touched, c)
+			}
+			slots[i] = t - 1
+		}
+		return
+	}
+	k1 := d.k1
+	for i, r := range sel {
+		c := int32(k0[r]) | int32(k1[r])<<8
+		t := tab[c]
+		if t == 0 {
+			t = g.denseInsert(int64(k0[r]), int64(k1[r]))
+			tab[c] = t
+			w.touched = append(w.touched, c)
+		}
+		slots[i] = t - 1
+	}
+}
+
+// foldGroupAggs folds every aggregate over the chunk's resolved slots.
+func (w *fastWorker) foldGroupAggs(sel, slots []int32) {
+	p := w.p
+	n := len(sel)
+	for ai := range p.aggs {
+		a := &p.aggs[ai]
+		acc := w.groups.acc[ai]
+		switch {
+		case a.kind == AggCount:
+			for _, s := range slots {
+				acc[s]++
+			}
+		case a.i64 != nil:
+			foldGroupDirect(a.kind, acc, a.i64, sel, slots)
+		case a.i8 != nil:
+			foldGroupDirect(a.kind, acc, a.i8, sel, slots)
+		default:
+			vals := w.val[:n]
+			a.arg(w, sel, vals)
+			foldGroupVals(a.kind, acc, vals, slots)
+		}
+	}
+}
+
+// partial exposes the worker's state in the form FinalizeProbed merges.
+// The returned slices alias the worker; Execute returns workers to the
+// pool only after finalize has consumed them.
+func (w *fastWorker) partial() *Partial {
+	if !w.p.grouped {
+		return &Partial{Scalar: append([]int64(nil), w.scalar...), Matched: w.matched}
+	}
+	if f := w.p.fused; f != nil {
+		return w.fusedPartial(f)
+	}
+	g := &w.groups
+	tuples := make([][]int64, g.n)
+	for i := range tuples {
+		tuples[i] = g.tuples[i*g.width : (i+1)*g.width]
+	}
+	return &Partial{Tuples: tuples, Aggs: g.acc, Matched: w.matched}
+}
+
+// fusedSumAcc pairs a SUM's addend column with this worker's
+// accumulator table for that aggregate; resolving the pair once per
+// scan keeps the row loop to a load, a mask and an add.
+type fusedSumAcc struct {
+	v   []int64
+	acc []int64
+}
+
+type fusedSum8Acc struct {
+	v   []byte
+	acc []int64
+}
+
+// runFused executes the one-pass dense pipeline over [start, end): per
+// row, the filter evaluates to a bit k, the packed key bytes form the
+// accumulator code, and every aggregate folds k-masked — no branches on
+// data, no selection vector, no slot resolution. The single-conjunct
+// filter (the common analytic shape) gets a dedicated loop per column
+// width; everything else shares the per-row conjunct loop.
+func (w *fastWorker) runFused(start, end int) {
+	f := w.p.fused
+	sums := make([]fusedSumAcc, len(f.sums))
+	for j, s := range f.sums {
+		sums[j] = fusedSumAcc{s.v, w.fAcc[s.agg]}
+	}
+	sums8 := make([]fusedSum8Acc, len(f.sums8))
+	for j, s := range f.sums8 {
+		sums8[j] = fusedSum8Acc{s.v, w.fAcc[s.agg]}
+	}
+	counts := make([][]int64, len(f.counts))
+	for j, ai := range f.counts {
+		counts[j] = w.fAcc[ai]
+	}
+	switch {
+	case len(f.conds) == 1 && f.conds[0].v64 != nil:
+		fusedScan(w, start, end, f.conds[0].v64, f.conds[0], sums, sums8, counts)
+	case len(f.conds) == 1:
+		fusedScan(w, start, end, f.conds[0].v8, f.conds[0], sums, sums8, counts)
+	default:
+		w.fusedScanN(start, end, sums, sums8, counts)
+	}
+}
+
+// fusedScan is the single-conjunct fused loop, stenciled per filter
+// column width. The first-seen branch is the only one keyed on data,
+// and it stops being taken once every surviving code has appeared.
+func fusedScan[T int64 | byte](w *fastWorker, start, end int, fv []T, c spanCond,
+	sums []fusedSumAcc, sums8 []fusedSum8Acc, counts [][]int64) {
+	f := w.p.fused
+	k0, k1 := f.k0, f.k1
+	seen := w.fSeen
+	touched := w.fTouched
+	matched := w.matched
+	base, a, s1 := c.base, c.a, c.s1
+	neg := int64(c.neg)
+	if k1 != nil && len(sums) == 1 && len(sums8) == 0 && len(counts) == 1 {
+		// The dominant analytic shape (SUM + COUNT over two byte keys)
+		// keeps every accumulator slice in a named local, so the row
+		// loop compiles to straight-line loads and masked adds.
+		sv, sacc, cacc := sums[0].v, sums[0].acc, counts[0]
+		for r := start; r < end; r++ {
+			d := uint64(fv[r]) - base
+			k := (int64((d-s1)>>63) & (int64((d-a)>>63) ^ 1)) ^ neg
+			code := int32(k0[r]) | int32(k1[r])<<8
+			if seen[code] == 0 && k != 0 {
+				seen[code] = 1
+				touched = append(touched, code)
+			}
+			matched += k
+			sacc[code] += sv[r] & -k
+			cacc[code] += k
+		}
+		w.fTouched = touched
+		w.matched = matched
+		return
+	}
+	if k1 == nil {
+		for r := start; r < end; r++ {
+			d := uint64(fv[r]) - base
+			k := (int64((d-s1)>>63) & (int64((d-a)>>63) ^ 1)) ^ neg
+			code := int32(k0[r])
+			if seen[code] == 0 && k != 0 {
+				seen[code] = 1
+				touched = append(touched, code)
+			}
+			matched += k
+			m := -k
+			for j := range sums {
+				s := &sums[j]
+				s.acc[code] += s.v[r] & m
+			}
+			for j := range sums8 {
+				s := &sums8[j]
+				s.acc[code] += int64(s.v[r]) & m
+			}
+			for j := range counts {
+				counts[j][code] += k
+			}
+		}
+	} else {
+		for r := start; r < end; r++ {
+			d := uint64(fv[r]) - base
+			k := (int64((d-s1)>>63) & (int64((d-a)>>63) ^ 1)) ^ neg
+			code := int32(k0[r]) | int32(k1[r])<<8
+			if seen[code] == 0 && k != 0 {
+				seen[code] = 1
+				touched = append(touched, code)
+			}
+			matched += k
+			m := -k
+			for j := range sums {
+				s := &sums[j]
+				s.acc[code] += s.v[r] & m
+			}
+			for j := range sums8 {
+				s := &sums8[j]
+				s.acc[code] += int64(s.v[r]) & m
+			}
+			for j := range counts {
+				counts[j][code] += k
+			}
+		}
+	}
+	w.fTouched = touched
+	w.matched = matched
+}
+
+// fusedScanN is the general fused loop: zero conjuncts (every row
+// passes) or several, ANDed branchlessly per row.
+func (w *fastWorker) fusedScanN(start, end int,
+	sums []fusedSumAcc, sums8 []fusedSum8Acc, counts [][]int64) {
+	f := w.p.fused
+	conds := f.conds
+	k0, k1 := f.k0, f.k1
+	seen := w.fSeen
+	touched := w.fTouched
+	matched := w.matched
+	for r := start; r < end; r++ {
+		k := int64(1)
+		for ci := range conds {
+			c := &conds[ci]
+			var d uint64
+			if c.v64 != nil {
+				d = uint64(c.v64[r]) - c.base
+			} else {
+				d = uint64(c.v8[r]) - c.base
+			}
+			k &= (int64((d-c.s1)>>63) & (int64((d-c.a)>>63) ^ 1)) ^ int64(c.neg)
+		}
+		code := int32(k0[r])
+		if k1 != nil {
+			code |= int32(k1[r]) << 8
+		}
+		if seen[code] == 0 && k != 0 {
+			seen[code] = 1
+			touched = append(touched, code)
+		}
+		matched += k
+		m := -k
+		for j := range sums {
+			s := &sums[j]
+			s.acc[code] += s.v[r] & m
+		}
+		for j := range sums8 {
+			s := &sums8[j]
+			s.acc[code] += int64(s.v[r]) & m
+		}
+		for j := range counts {
+			counts[j][code] += k
+		}
+	}
+	w.fTouched = touched
+	w.matched = matched
+}
+
+// fusedPartial decodes the touched codes back into key tuples and
+// per-group aggregate rows — the same Partial shape the staged path
+// produces, merged identically by FinalizeProbed.
+func (w *fastWorker) fusedPartial(f *fusedDense) *Partial {
+	n := len(w.fTouched)
+	width := 1
+	if f.k1 != nil {
+		width = 2
+	}
+	flat := make([]int64, n*width)
+	tuples := make([][]int64, n)
+	aggs := make([][]int64, len(w.fAcc))
+	for ai := range aggs {
+		aggs[ai] = make([]int64, n)
+	}
+	for g, code := range w.fTouched {
+		t := flat[g*width : (g+1)*width]
+		t[0] = int64(code & 0xff)
+		if width == 2 {
+			t[1] = int64(code >> 8)
+		}
+		tuples[g] = t
+		for ai := range aggs {
+			aggs[ai][g] = w.fAcc[ai][code]
+		}
+	}
+	return &Partial{Tuples: tuples, Aggs: aggs, Matched: w.matched}
+}
+
+// fastGroups is the probe-free group table: open addressing over the
+// mixed key, entries chained linearly, group identity decided by the
+// full key tuple exactly like GroupTable.
+type fastGroups struct {
+	width  int
+	n      int
+	mask   uint64
+	table  []int32 // slot -> group index + 1; 0 marks empty
+	hashes []int64 // group -> mixed key
+	tuples []int64 // group key tuples, flattened [group*width]
+	acc    [][]int64
+	seeds  []int64
+}
+
+func (g *fastGroups) init(p *FastPlan) {
+	g.width = p.nkeys
+	g.table = make([]int32, p.tableCap)
+	g.mask = p.tableCap - 1
+	g.acc = make([][]int64, len(p.aggs))
+	g.seeds = make([]int64, len(p.aggs))
+	for ai := range p.aggs {
+		g.seeds[ai] = p.aggs[ai].seed
+	}
+}
+
+func (g *fastGroups) reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	g.hashes = g.hashes[:0]
+	g.tuples = g.tuples[:0]
+	for ai := range g.acc {
+		g.acc[ai] = g.acc[ai][:0]
+	}
+	g.n = 0
+}
+
+// findOrInsert resolves row i of the key buffers (mixed key
+// precomputed) to its group index, inserting on first sight.
+func (g *fastGroups) findOrInsert(key int64, keys [][]int64, i int) int32 {
+	s := (uint64(key) * fastHashMul >> 32) & g.mask
+	for {
+		t := g.table[s]
+		if t == 0 {
+			return g.insert(s, key, keys, i)
+		}
+		gi := t - 1
+		if g.hashes[gi] == key && g.tupleEq(int(gi), keys, i) {
+			return gi
+		}
+		s = (s + 1) & g.mask
+	}
+}
+
+func (g *fastGroups) tupleEq(gi int, keys [][]int64, i int) bool {
+	t := g.tuples[gi*g.width:]
+	for k := 0; k < g.width; k++ {
+		if t[k] != keys[k][i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *fastGroups) insert(s uint64, key int64, keys [][]int64, i int) int32 {
+	gi := int32(g.n)
+	g.table[s] = gi + 1
+	g.hashes = append(g.hashes, key)
+	for k := 0; k < g.width; k++ {
+		g.tuples = append(g.tuples, keys[k][i])
+	}
+	for ai := range g.acc {
+		g.acc[ai] = append(g.acc[ai], g.seeds[ai])
+	}
+	g.n++
+	if uint64(g.n)*4 > (g.mask+1)*3 {
+		g.grow()
+	}
+	return gi
+}
+
+// denseInsert registers a new group for the given key tuple and
+// returns its slot + 1 (the dense table's occupied encoding). The hash
+// table is not maintained — dense plans never probe it.
+func (g *fastGroups) denseInsert(keys ...int64) int32 {
+	g.tuples = append(g.tuples, keys...)
+	for ai := range g.acc {
+		g.acc[ai] = append(g.acc[ai], g.seeds[ai])
+	}
+	g.n++
+	return int32(g.n)
+}
+
+func (g *fastGroups) grow() {
+	size := (g.mask + 1) * 2
+	g.table = make([]int32, size)
+	g.mask = size - 1
+	for gi := 0; gi < g.n; gi++ {
+		s := (uint64(g.hashes[gi]) * fastHashMul >> 32) & g.mask
+		for g.table[s] != 0 {
+			s = (s + 1) & g.mask
+		}
+		g.table[s] = int32(gi) + 1
+	}
+}
+
+// fastCompiler lowers expressions and predicates to kernels, assigning
+// scratch buffer slots as general shapes need them.
+type fastCompiler struct {
+	b     *Bound
+	nbufs int
+	ok    bool
+	// stats caches each filtered column's observed min/max, keyed by
+	// the column's backing array (stable for a bound catalog).
+	stats map[*int64][2]int64
+}
+
+func (fc *fastCompiler) buf() int {
+	i := fc.nbufs
+	fc.nbufs++
+	return i
+}
+
+// fexpr is a compiled expression with its specialization facets: a
+// constant, a bare column (either width), or a general kernel. Parents
+// fuse on the facets so the common shapes — column-op-constant,
+// column-op-column — evaluate in one pass with no scratch.
+type fexpr struct {
+	eval vecKernel
+	con  bool
+	conV int64
+	i64  []int64
+	i8   []byte
+}
+
+// kernel materializes an fexpr into a plain evaluation kernel.
+func (fc *fastCompiler) kernel(e fexpr) vecKernel {
+	switch {
+	case e.con:
+		c := e.conV
+		return func(w *fastWorker, rows []int32, out []int64) {
+			for i := range rows {
+				out[i] = c
+			}
+		}
+	case e.i64 != nil:
+		v := e.i64
+		return func(w *fastWorker, rows []int32, out []int64) {
+			for i, r := range rows {
+				out[i] = v[r]
+			}
+		}
+	case e.i8 != nil:
+		v := e.i8
+		return func(w *fastWorker, rows []int32, out []int64) {
+			for i, r := range rows {
+				out[i] = int64(v[r])
+			}
+		}
+	}
+	return e.eval
+}
+
+func (fc *fastCompiler) expr(e *Expr) fexpr {
+	switch e.Op {
+	case OpConst:
+		return fexpr{con: true, conV: e.Val}
+	case OpCol:
+		if e.Tab != 0 {
+			fc.ok = false
+			return fexpr{con: true}
+		}
+		c := fc.b.Tables[0][e.Col]
+		if c.Kind == I8 {
+			return fexpr{i8: c.I8.V}
+		}
+		return fexpr{i64: c.I64.V}
+	}
+	l, r := fc.expr(e.L), fc.expr(e.R)
+	if l.con && r.con {
+		return fexpr{con: true, conV: applyOp(e.Op, l.conV, r.conV)}
+	}
+	if r.con {
+		if e.Op == OpDiv && r.conV == 0 {
+			// x / 0 yields 0 for every x: the whole node is constant.
+			return fexpr{con: true, conV: 0}
+		}
+		return fexpr{eval: opConstRight(e.Op, fc.kernel(l), r.conV)}
+	}
+	if l.con {
+		return fexpr{eval: opConstLeft(e.Op, l.conV, fc.kernel(r))}
+	}
+	if (l.i64 != nil || l.i8 != nil) && (r.i64 != nil || r.i8 != nil) {
+		return fexpr{eval: colColKernel(e.Op, l, r)}
+	}
+	return fexpr{eval: opGeneral(e.Op, fc.kernel(l), fc.kernel(r), fc.buf())}
+}
+
+// colColKernel fuses <column> op <column>: the two gathers and the
+// arithmetic run in one pass with no scratch buffer.
+func colColKernel(op ExprOp, l, r fexpr) vecKernel {
+	switch {
+	case l.i64 != nil && r.i64 != nil:
+		return opColCol(op, l.i64, r.i64)
+	case l.i64 != nil:
+		return opColCol(op, l.i64, r.i8)
+	case r.i64 != nil:
+		return opColCol(op, l.i8, r.i64)
+	default:
+		return opColCol(op, l.i8, r.i8)
+	}
+}
+
+// opColCol is the width-specialized fused column-pair kernel.
+func opColCol[TL int64 | byte, TR int64 | byte](op ExprOp, lv []TL, rv []TR) vecKernel {
+	switch op {
+	case OpAdd:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			out = out[:len(rows)]
+			for i, r := range rows {
+				out[i] = int64(lv[r]) + int64(rv[r])
+			}
+		}
+	case OpSub:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			out = out[:len(rows)]
+			for i, r := range rows {
+				out[i] = int64(lv[r]) - int64(rv[r])
+			}
+		}
+	case OpMul:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			out = out[:len(rows)]
+			for i, r := range rows {
+				out[i] = int64(lv[r]) * int64(rv[r])
+			}
+		}
+	default: // OpDiv
+		return func(w *fastWorker, rows []int32, out []int64) {
+			out = out[:len(rows)]
+			for i, r := range rows {
+				d := int64(rv[r])
+				if d == 0 {
+					out[i] = 0
+				} else {
+					out[i] = int64(lv[r]) / d
+				}
+			}
+		}
+	}
+}
+
+// applyOp evaluates one arithmetic node over constants, with the same
+// truncating, zero-divisor-yields-zero division the engines interpret.
+func applyOp(op ExprOp, l, r int64) int64 {
+	switch op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	default: // OpDiv
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	}
+}
+
+// opConstRight fuses <inner> op <const>: evaluate inner into out, then
+// combine in place.
+func opConstRight(op ExprOp, inner vecKernel, c int64) vecKernel {
+	switch op {
+	case OpAdd:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				out[i] += c
+			}
+		}
+	case OpSub:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				out[i] -= c
+			}
+		}
+	case OpMul:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				out[i] *= c
+			}
+		}
+	default: // OpDiv, c != 0 (the zero divisor constant-folded)
+		if c != 1 && c != -1 && c != math.MinInt64 {
+			// Hardware signed division costs tens of cycles per row even
+			// with a constant divisor a closure hides from the compiler;
+			// the multiply-shift equivalent costs a handful.
+			m, s := divMagic(c)
+			var adj int64
+			if c > 0 && m < 0 {
+				adj = 1
+			} else if c < 0 && m > 0 {
+				adj = -1
+			}
+			return func(w *fastWorker, rows []int32, out []int64) {
+				inner(w, rows, out)
+				for i, n := range out {
+					q := mulHi(m, n) + n*adj
+					q >>= s
+					out[i] = q + int64(uint64(q)>>63)
+				}
+			}
+		}
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				out[i] /= c
+			}
+		}
+	}
+}
+
+// mulHi returns the high 64 bits of the signed 128-bit product a*b.
+func mulHi(a, b int64) int64 {
+	hi, _ := bits.Mul64(uint64(a), uint64(b))
+	return int64(hi) - ((a >> 63) & b) - ((b >> 63) & a)
+}
+
+// divMagic computes the multiplier and shift that replace truncated
+// signed division by d (Hacker's Delight, 10-4; Warren's magic()).
+// Valid for every d except 0, ±1 and MinInt64, which callers handle.
+func divMagic(d int64) (m int64, s uint) {
+	ad := uint64(d)
+	if d < 0 {
+		ad = -ad
+	}
+	t := uint64(1)<<63 + uint64(d)>>63
+	anc := t - 1 - t%ad
+	p := uint(63)
+	q1 := (uint64(1) << 63) / anc
+	r1 := uint64(1)<<63 - q1*anc
+	q2 := (uint64(1) << 63) / ad
+	r2 := uint64(1)<<63 - q2*ad
+	for {
+		p++
+		q1 <<= 1
+		r1 <<= 1
+		if r1 >= anc {
+			q1++
+			r1 -= anc
+		}
+		q2 <<= 1
+		r2 <<= 1
+		if r2 >= ad {
+			q2++
+			r2 -= ad
+		}
+		if delta := ad - r2; q1 < delta || (q1 == delta && r1 == 0) {
+			continue
+		}
+		break
+	}
+	m = int64(q2 + 1)
+	if d < 0 {
+		m = -m
+	}
+	return m, p - 64
+}
+
+// opConstLeft fuses <const> op <inner>.
+func opConstLeft(op ExprOp, c int64, inner vecKernel) vecKernel {
+	switch op {
+	case OpAdd:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				out[i] = c + out[i]
+			}
+		}
+	case OpSub:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				out[i] = c - out[i]
+			}
+		}
+	case OpMul:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				out[i] = c * out[i]
+			}
+		}
+	default: // OpDiv
+		return func(w *fastWorker, rows []int32, out []int64) {
+			inner(w, rows, out)
+			for i := range out {
+				if out[i] == 0 {
+					out[i] = 0
+				} else {
+					out[i] = c / out[i]
+				}
+			}
+		}
+	}
+}
+
+// opGeneral evaluates both sides (right into scratch slot sb) and
+// combines.
+func opGeneral(op ExprOp, lk, rk vecKernel, sb int) vecKernel {
+	switch op {
+	case OpAdd:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			t := w.scratch[sb][:len(rows)]
+			rk(w, rows, t)
+			lk(w, rows, out)
+			for i := range out {
+				out[i] += t[i]
+			}
+		}
+	case OpSub:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			t := w.scratch[sb][:len(rows)]
+			rk(w, rows, t)
+			lk(w, rows, out)
+			for i := range out {
+				out[i] -= t[i]
+			}
+		}
+	case OpMul:
+		return func(w *fastWorker, rows []int32, out []int64) {
+			t := w.scratch[sb][:len(rows)]
+			rk(w, rows, t)
+			lk(w, rows, out)
+			for i := range out {
+				out[i] *= t[i]
+			}
+		}
+	default: // OpDiv
+		return func(w *fastWorker, rows []int32, out []int64) {
+			t := w.scratch[sb][:len(rows)]
+			rk(w, rows, t)
+			lk(w, rows, out)
+			for i := range out {
+				if t[i] == 0 {
+					out[i] = 0
+				} else {
+					out[i] /= t[i]
+				}
+			}
+		}
+	}
+}
+
+// spanCond is one column-versus-constant conjunct normalized to an
+// inclusive value range over the column's own rebased domain. With
+// cmin/cmax the extremes actually present, every value rebases to
+// d = x - cmin in [0, R] (R = cmax - cmin, required < 2^62), and the
+// requested range clamps to rebased bounds a <= d < s1. Containment is
+// then two sign-bit extractions — (d-s1)>>63 catches d < s1, the
+// complement of (d-a)>>63 catches d >= a — with no wraparound cases,
+// because d, a and s1-1 all sit in [0, R] far below 2^63. Flag-setting
+// compares (SETcc) serialize badly on some hosts; shifts do not, which
+// is why the scan tests are phrased this way. neg is 1 for Ne (keep
+// rows outside the point range).
+type spanCond struct {
+	v64  []int64
+	v8   []byte
+	base uint64 // uint64(cmin), the rebasing offset
+	a    uint64 // lower bound, rebased
+	s1   uint64 // upper bound + 1, rebased
+	neg  int
+	// est is the fraction of rows expected to pass under a uniform
+	// assumption over the column's observed range — only an ordering
+	// heuristic, never a correctness input.
+	est float64
+}
+
+// condStatus classifies a conjunct for fusion.
+type condStatus int
+
+const (
+	condYes    condStatus = iota // normalized into a spanCond
+	condNo                       // not a fusable column-versus-constant shape
+	condNever                    // no present value satisfies it: zero rows match
+	condAlways                   // every present value satisfies it: drop it
+)
+
+// colRange reports the extreme values present in v, cached per column:
+// the one-time scan prices a plan compile, not an execution, and the
+// rebased range tests are only valid against a column's true extremes.
+func (fc *fastCompiler) colRange(v []int64) (int64, int64, bool) {
+	if len(v) == 0 {
+		return 0, 0, false
+	}
+	if s, ok := fc.stats[&v[0]]; ok {
+		return s[0], s[1], true
+	}
+	mn, mx := v[0], v[0]
+	for _, x := range v[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	if fc.stats == nil {
+		fc.stats = map[*int64][2]int64{}
+	}
+	fc.stats[&v[0]] = [2]int64{mn, mx}
+	return mn, mx, true
+}
+
+// spanCond normalizes a conjunct into a spanCond when it compares one
+// bare column against constants, clamping the requested range to the
+// values the column actually holds. The clamp cannot change which rows
+// match, so it is free to reclassify: an empty intersection matches
+// nothing, a full cover matches everything.
+func (fc *fastCompiler) spanCond(p *Pred) (spanCond, condStatus) {
+	var x fexpr
+	var lo, hi int64
+	neg := 0
+	switch p.Op {
+	case PredCmp:
+		a, b := fc.expr(p.A), fc.expr(p.B)
+		op := p.Cmp
+		if a.con && !b.con {
+			a, b = b, a
+			op = mirrorCmp(op)
+		}
+		if !b.con || (a.i64 == nil && a.i8 == nil) {
+			return spanCond{}, condNo
+		}
+		x = a
+		if op == Ne {
+			lo, hi, neg = b.conV, b.conV, 1
+		} else {
+			var ok bool
+			lo, hi, ok = cmpRange(op, b.conV)
+			if !ok {
+				return spanCond{}, condNever
+			}
+		}
+	case PredBetween:
+		xe, l, h := fc.expr(p.A), fc.expr(p.B), fc.expr(p.C)
+		if !l.con || !h.con || (xe.i64 == nil && xe.i8 == nil) {
+			return spanCond{}, condNo
+		}
+		x, lo, hi = xe, l.conV, h.conV
+	default:
+		return spanCond{}, condNo
+	}
+	cmin, cmax := int64(0), int64(255)
+	if x.i64 != nil {
+		var ok bool
+		cmin, cmax, ok = fc.colRange(x.i64)
+		if !ok {
+			return spanCond{}, condNever // empty column: no row to match
+		}
+	}
+	if uint64(cmax)-uint64(cmin) >= 1<<62 {
+		return spanCond{}, condNo // rebased domain too wide for shift tests
+	}
+	if lo < cmin {
+		lo = cmin
+	}
+	if hi > cmax {
+		hi = cmax
+	}
+	if lo > hi { // no present value inside the range
+		if neg == 1 {
+			return spanCond{}, condAlways
+		}
+		return spanCond{}, condNever
+	}
+	if lo == cmin && hi == cmax { // every present value inside the range
+		if neg == 1 {
+			return spanCond{}, condNever
+		}
+		return spanCond{}, condAlways
+	}
+	base := uint64(cmin)
+	est := float64(hi-lo+1) / float64(uint64(cmax)-uint64(cmin)+1)
+	if neg == 1 {
+		est = 1 - est
+	}
+	return spanCond{
+		v64: x.i64, v8: x.i8, base: base,
+		a: uint64(lo) - base, s1: uint64(hi) - base + 1, neg: neg,
+		est: est,
+	}, condYes
+}
+
+// pred normalizes a filter: every column-versus-constant conjunct
+// becomes a spanCond (sorted by estimated selectivity, cheapest-first —
+// AND commutes, so any order yields the same row set), computed
+// conjuncts become sel kernels, and never reports a conjunct no present
+// value satisfies.
+func (fc *fastCompiler) pred(p *Pred) (conds []spanCond, rest []selKernel, never bool) {
+	if p == nil {
+		return nil, nil, false
+	}
+	for _, c := range p.Conjuncts() {
+		sc, st := fc.spanCond(c)
+		switch st {
+		case condYes:
+			conds = append(conds, sc)
+		case condNever:
+			return nil, nil, true
+		case condAlways:
+			// vacuously true on this data: contributes nothing
+		default:
+			rest = append(rest, fc.sel(c))
+		}
+	}
+	sort.SliceStable(conds, func(i, j int) bool { return conds[i].est < conds[j].est })
+	return conds, rest, false
+}
+
+// stageSpans lowers normalized conjuncts to the staged executor form:
+// the most selective spanCond runs as the full range scan, the others
+// as gathered tests over the already-shrunk selection, and computed
+// conjuncts — the expensive shapes — refine last.
+func stageSpans(conds []spanCond, rest []selKernel) (rangeSelKernel, []selKernel) {
+	if len(conds) == 0 {
+		return nil, rest
+	}
+	kernels := make([]selKernel, 0, len(conds)-1+len(rest))
+	for _, c := range conds[1:] {
+		if c.v64 != nil {
+			kernels = append(kernels, gatherSpan(c.v64, c))
+		} else {
+			kernels = append(kernels, gatherSpan(c.v8, c))
+		}
+	}
+	kernels = append(kernels, rest...)
+	c := conds[0]
+	if c.v64 != nil {
+		return fuse1(c.v64, c), kernels
+	}
+	return fuse1(c.v8, c), kernels
+}
+
+// neverMatch is the range kernel of an unsatisfiable filter.
+func neverMatch(lo, hi int32, out []int32) []int32 { return out[:0] }
+
+// fuse1 scans one condition with branchless compaction. The common
+// lower-unbounded shape (a == 0 after clamping) drops its redundant
+// lower test: d >= 0 holds by construction.
+func fuse1[T int64 | byte](v []T, c spanCond) rangeSelKernel {
+	base, a, s1, neg := c.base, c.a, c.s1, c.neg
+	if a == 0 {
+		return func(lo, hi int32, out []int32) []int32 {
+			n := 0
+			for i, x := range v[lo:hi] {
+				out[n] = lo + int32(i)
+				n += int((uint64(x)-base-s1)>>63) ^ neg
+			}
+			return out[:n]
+		}
+	}
+	return func(lo, hi int32, out []int32) []int32 {
+		n := 0
+		for i, x := range v[lo:hi] {
+			d := uint64(x) - base
+			out[n] = lo + int32(i)
+			n += int(((d-s1)>>63)&(((d-a)>>63)^1)) ^ neg
+		}
+		return out[:n]
+	}
+}
+
+// gatherSpan refines an existing selection against one condition: a
+// gathered load and the same shift tests as fuse1, priced only on the
+// rows earlier stages kept.
+func gatherSpan[T int64 | byte](v []T, c spanCond) selKernel {
+	base, a, s1, neg := c.base, c.a, c.s1, c.neg
+	if a == 0 {
+		return func(w *fastWorker, rows []int32) []int32 {
+			n := 0
+			for _, r := range rows {
+				rows[n] = r
+				n += int((uint64(v[r])-base-s1)>>63) ^ neg
+			}
+			return rows[:n]
+		}
+	}
+	return func(w *fastWorker, rows []int32) []int32 {
+		n := 0
+		for _, r := range rows {
+			d := uint64(v[r]) - base
+			rows[n] = r
+			n += int(((d-s1)>>63)&(((d-a)>>63)^1)) ^ neg
+		}
+		return rows[:n]
+	}
+}
+
+// sel compiles one conjunct into a selection-refining kernel.
+func (fc *fastCompiler) sel(p *Pred) selKernel {
+	switch p.Op {
+	case PredCmp:
+		a, b := fc.expr(p.A), fc.expr(p.B)
+		op := p.Cmp
+		if a.con && !b.con {
+			a, b = b, a
+			op = mirrorCmp(op)
+		}
+		if a.con && b.con {
+			return constSel(cmpVals(op, a.conV, b.conV))
+		}
+		ka, kb := fc.kernel(a), fc.kernel(b)
+		ia, ib := fc.buf(), fc.buf()
+		cop := op
+		return func(w *fastWorker, rows []int32) []int32 {
+			n := len(rows)
+			av, bv := w.scratch[ia][:n], w.scratch[ib][:n]
+			ka(w, rows, av)
+			kb(w, rows, bv)
+			m := 0
+			for i := 0; i < n; i++ {
+				rows[m] = rows[i]
+				if cmpVals(cop, av[i], bv[i]) {
+					m++
+				}
+			}
+			return rows[:m]
+		}
+	case PredBetween:
+		x, lo, hi := fc.expr(p.A), fc.expr(p.B), fc.expr(p.C)
+		kx, kl, kh := fc.kernel(x), fc.kernel(lo), fc.kernel(hi)
+		ix, il, ih := fc.buf(), fc.buf(), fc.buf()
+		return func(w *fastWorker, rows []int32) []int32 {
+			n := len(rows)
+			xv, lv, hv := w.scratch[ix][:n], w.scratch[il][:n], w.scratch[ih][:n]
+			kx(w, rows, xv)
+			kl(w, rows, lv)
+			kh(w, rows, hv)
+			m := 0
+			for i := 0; i < n; i++ {
+				rows[m] = rows[i]
+				if xv[i] >= lv[i] && xv[i] <= hv[i] {
+					m++
+				}
+			}
+			return rows[:m]
+		}
+	}
+	// PredAnd cannot reach here: Conjuncts flattened it.
+	fc.ok = false
+	return nil
+}
+
+// constSel keeps everything or nothing.
+func constSel(keep bool) selKernel {
+	if keep {
+		return func(w *fastWorker, rows []int32) []int32 { return rows }
+	}
+	return func(w *fastWorker, rows []int32) []int32 { return rows[:0] }
+}
+
+// mirrorCmp flips a comparison around swapped operands.
+func mirrorCmp(op CmpOp) CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	}
+	return op
+}
+
+// cmpRange rewrites a one-sided comparison against a constant as the
+// inclusive value range it admits; ok is false when no value satisfies
+// it. Ne is not a range and is handled by its caller.
+func cmpRange(op CmpOp, c int64) (lo, hi int64, ok bool) {
+	switch op {
+	case Lt:
+		if c == math.MinInt64 {
+			return 0, 0, false
+		}
+		return math.MinInt64, c - 1, true
+	case Le:
+		return math.MinInt64, c, true
+	case Gt:
+		if c == math.MaxInt64 {
+			return 0, 0, false
+		}
+		return c + 1, math.MaxInt64, true
+	case Ge:
+		return c, math.MaxInt64, true
+	default: // Eq
+		return c, c, true
+	}
+}
+
+// foldDirect folds a bare column's selected rows into a scalar
+// accumulator (COUNT handled by the caller).
+func foldDirect[T int64 | byte](kind AggKind, acc int64, v []T, sel []int32) int64 {
+	switch kind {
+	case AggSum:
+		for _, r := range sel {
+			acc += int64(v[r])
+		}
+	case AggMin:
+		for _, r := range sel {
+			if x := int64(v[r]); x < acc {
+				acc = x
+			}
+		}
+	case AggMax:
+		for _, r := range sel {
+			if x := int64(v[r]); x > acc {
+				acc = x
+			}
+		}
+	}
+	return acc
+}
+
+// foldVals folds evaluated values into a scalar accumulator.
+func foldVals(kind AggKind, acc int64, vals []int64) int64 {
+	switch kind {
+	case AggSum:
+		for _, x := range vals {
+			acc += x
+		}
+	case AggMin:
+		for _, x := range vals {
+			if x < acc {
+				acc = x
+			}
+		}
+	case AggMax:
+		for _, x := range vals {
+			if x > acc {
+				acc = x
+			}
+		}
+	}
+	return acc
+}
+
+// foldGroupDirect folds a bare column into per-group accumulators.
+func foldGroupDirect[T int64 | byte](kind AggKind, acc []int64, v []T, sel, slots []int32) {
+	switch kind {
+	case AggSum:
+		for i, s := range slots {
+			acc[s] += int64(v[sel[i]])
+		}
+	case AggMin:
+		for i, s := range slots {
+			if x := int64(v[sel[i]]); x < acc[s] {
+				acc[s] = x
+			}
+		}
+	case AggMax:
+		for i, s := range slots {
+			if x := int64(v[sel[i]]); x > acc[s] {
+				acc[s] = x
+			}
+		}
+	}
+}
+
+// foldGroupVals folds evaluated values into per-group accumulators.
+func foldGroupVals(kind AggKind, acc []int64, vals []int64, slots []int32) {
+	switch kind {
+	case AggSum:
+		for i, s := range slots {
+			acc[s] += vals[i]
+		}
+	case AggMin:
+		for i, s := range slots {
+			if x := vals[i]; x < acc[s] {
+				acc[s] = x
+			}
+		}
+	case AggMax:
+		for i, s := range slots {
+			if x := vals[i]; x > acc[s] {
+				acc[s] = x
+			}
+		}
+	}
+}

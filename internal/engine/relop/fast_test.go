@@ -1,0 +1,356 @@
+package relop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"olapmicro/internal/engine"
+	"olapmicro/internal/probe"
+	"olapmicro/internal/storage"
+)
+
+// fastCol describes one synthetic column: exactly one of i64/i8 set.
+type fastCol struct {
+	name string
+	i64  []int64
+	i8   []byte
+}
+
+// fastFixture builds a single-table pipeline input over the columns.
+func fastFixture(rows int, cols ...fastCol) (TableRef, *Bound) {
+	as := probe.NewAddrSpace()
+	tr := TableRef{Name: "t", Rows: rows}
+	var bound []Col
+	for _, c := range cols {
+		if c.i64 != nil {
+			tr.Cols = append(tr.Cols, ColSpec{Name: c.name, Kind: I64})
+			bound = append(bound, Col{Kind: I64, I64: storage.NewColI64(as, "t."+c.name, c.i64)})
+		} else {
+			tr.Cols = append(tr.Cols, ColSpec{Name: c.name, Kind: I8})
+			bound = append(bound, Col{Kind: I8, I8: storage.NewColI8(as, "t."+c.name, c.i8)})
+		}
+	}
+	return tr, &Bound{Tables: [][]Col{bound}}
+}
+
+// aggSeed mirrors the executors' fold identities.
+func aggSeed(k AggKind) int64 {
+	switch k {
+	case AggMin:
+		return math.MaxInt64
+	case AggMax:
+		return math.MinInt64
+	}
+	return 0
+}
+
+func naiveFold(k AggKind, acc, v int64) int64 {
+	switch k {
+	case AggSum:
+		return acc + v
+	case AggCount:
+		return acc + 1
+	case AggMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	default: // AggMax
+		if v > acc {
+			return v
+		}
+		return acc
+	}
+}
+
+// naiveResult executes the pipeline row-at-a-time through the plan
+// tree's own Eval methods and finalizes the single partial — the
+// reference every fast execution must match bit-for-bit.
+func naiveResult(pl *Pipeline, b *Bound) engine.Result {
+	part := &Partial{Scalar: make([]int64, len(pl.Aggs))}
+	for ai, a := range pl.Aggs {
+		part.Scalar[ai] = aggSeed(a.Kind)
+	}
+	grouped := len(pl.GroupBy) > 0
+	if grouped {
+		part.Aggs = make([][]int64, len(pl.Aggs))
+		part.Scalar = nil
+	}
+	seen := map[string]int{}
+	rows := []int{0}
+	for r := 0; r < pl.Tables[0].Rows; r++ {
+		rows[0] = r
+		if pl.Filter != nil && !pl.Filter.Eval(b, rows) {
+			continue
+		}
+		part.Matched++
+		if !grouped {
+			for ai, a := range pl.Aggs {
+				var v int64
+				if a.Kind != AggCount {
+					v = a.Arg.Eval(b, rows)
+				}
+				part.Scalar[ai] = naiveFold(a.Kind, part.Scalar[ai], v)
+			}
+			continue
+		}
+		tuple := make([]int64, len(pl.GroupBy))
+		for k, g := range pl.GroupBy {
+			tuple[k] = g.Eval(b, rows)
+		}
+		gi, ok := seen[tupleKey(tuple)]
+		if !ok {
+			gi = len(part.Tuples)
+			seen[tupleKey(tuple)] = gi
+			part.Tuples = append(part.Tuples, tuple)
+			for ai, a := range pl.Aggs {
+				part.Aggs[ai] = append(part.Aggs[ai], aggSeed(a.Kind))
+			}
+		}
+		for ai, a := range pl.Aggs {
+			var v int64
+			if a.Kind != AggCount {
+				v = a.Arg.Eval(b, rows)
+			}
+			part.Aggs[ai][gi] = naiveFold(a.Kind, part.Aggs[ai][gi], v)
+		}
+	}
+	return FinalizeProbed(nil, pl, []*Partial{part})
+}
+
+// cmp builds `col(c) op const(v)`.
+func cmp(op CmpOp, c int, v int64) *Pred {
+	return &Pred{Op: PredCmp, Cmp: op, A: ColExpr(0, c), B: ConstExpr(v)}
+}
+
+func and(l, r *Pred) *Pred { return &Pred{Op: PredAnd, L: l, R: r} }
+
+// TestFastPlanMatchesNaive drives CompileFast over the predicate,
+// aggregation and grouping shapes the compiler specializes — span
+// normalization with data-dependent clamping (never/always/point
+// ranges), staged filters with computed-conjunct remainders, magic
+// division, dense fused grouping, hash grouping with table growth —
+// and requires every one to finalize bit-identically to the row-at-a-
+// time reference at several thread counts, including counts that do
+// not divide the row count.
+func TestFastPlanMatchesNaive(t *testing.T) {
+	const rows = 2500 // not a chunk multiple: exercises the ragged tail
+	rng := rand.New(rand.NewSource(42))
+	a64 := make([]int64, rows) // small signed range
+	b64 := make([]int64, rows) // wider signed range
+	f8 := make([]byte, rows)   // 3-valued flag
+	g8 := make([]byte, rows)   // 17-valued status
+	w64 := make([]int64, rows) // range wider than 2^62: span tests must bail
+	k64 := make([]int64, rows) // high-cardinality hash group key
+	for i := 0; i < rows; i++ {
+		a64[i] = rng.Int63n(101) - 50
+		b64[i] = rng.Int63n(2_000_001) - 1_000_000
+		f8[i] = byte(rng.Intn(3))
+		g8[i] = byte(rng.Intn(17))
+		w64[i] = rng.Int63() - (1 << 62)
+		k64[i] = rng.Int63n(1200)
+	}
+	w64[7] = math.MinInt64 + 1
+	w64[11] = math.MaxInt64 - 1
+	tr, bound := fastFixture(rows,
+		fastCol{name: "a", i64: a64}, fastCol{name: "b", i64: b64},
+		fastCol{name: "f", i8: f8}, fastCol{name: "g", i8: g8},
+		fastCol{name: "w", i64: w64}, fastCol{name: "k", i64: k64})
+	const (
+		colA, colB, colF, colG, colW, colK = 0, 1, 2, 3, 4, 5
+	)
+	sumA := Agg{Kind: AggSum, Arg: ColExpr(0, colA)}
+	count := Agg{Kind: AggCount}
+
+	cases := []struct {
+		name  string
+		pl    *Pipeline
+		fused bool // expect the one-pass dense executor
+	}{
+		{name: "scalar all aggs, between filter", pl: &Pipeline{
+			Filter: &Pred{Op: PredBetween, A: ColExpr(0, colA), B: ConstExpr(-10), C: ConstExpr(20)},
+			Aggs: []Agg{sumA, count,
+				{Kind: AggMin, Arg: ColExpr(0, colB)}, {Kind: AggMax, Arg: ColExpr(0, colB)}},
+		}},
+		{name: "computed conjunct stays behind span stages", pl: &Pipeline{
+			Filter: and(&Pred{Op: PredCmp, Cmp: Lt,
+				A: Bin(OpAdd, ColExpr(0, colA), ColExpr(0, colB)), B: ConstExpr(10)},
+				cmp(Ge, colA, -25)),
+			Aggs: []Agg{sumA, count},
+		}},
+		{name: "conjunct beyond the column range matches nothing", pl: &Pipeline{
+			Filter: and(cmp(Gt, colA, 1000), cmp(Ge, colA, -25)),
+			Aggs:   []Agg{sumA, count},
+		}},
+		{name: "conjunct covering the column range drops out", pl: &Pipeline{
+			Filter: and(cmp(Le, colA, math.MaxInt64), cmp(Lt, colA, 0)),
+			Aggs:   []Agg{sumA, count},
+		}},
+		{name: "not-equal point and vacuous not-equal", pl: &Pipeline{
+			Filter: and(cmp(Ne, colA, 7), cmp(Ne, colA, 200)),
+			Aggs:   []Agg{sumA, count},
+		}},
+		{name: "comparison extremes", pl: &Pipeline{
+			Filter: and(cmp(Gt, colA, math.MinInt64), cmp(Lt, colA, math.MaxInt64)),
+			Aggs:   []Agg{sumA, count},
+		}},
+		{name: "span test bails on a 2^62-wide column", pl: &Pipeline{
+			Filter: cmp(Gt, colW, 0),
+			Aggs:   []Agg{{Kind: AggSum, Arg: ColExpr(0, colW)}, count},
+		}},
+		{name: "magic division and multiplication", pl: &Pipeline{
+			Filter: cmp(Le, colA, 30),
+			Aggs: []Agg{
+				{Kind: AggSum, Arg: Bin(OpDiv, ColExpr(0, colB), ConstExpr(7))},
+				{Kind: AggSum, Arg: Bin(OpDiv, ColExpr(0, colB), ConstExpr(-3))},
+				{Kind: AggSum, Arg: Bin(OpDiv, ColExpr(0, colB), ConstExpr(1))},
+				{Kind: AggSum, Arg: Bin(OpDiv, ColExpr(0, colB), ConstExpr(0))},
+				{Kind: AggSum, Arg: Bin(OpMul, ColExpr(0, colA), ColExpr(0, colB))},
+			},
+		}},
+		{name: "fused one byte key", fused: true, pl: &Pipeline{
+			Filter:  cmp(Lt, colA, 10),
+			GroupBy: []*Expr{ColExpr(0, colF)},
+			Aggs:    []Agg{sumA, count},
+		}},
+		{name: "fused two byte keys, specialized sum+count", fused: true, pl: &Pipeline{
+			Filter:  cmp(Lt, colA, 10),
+			GroupBy: []*Expr{ColExpr(0, colF), ColExpr(0, colG)},
+			Aggs:    []Agg{sumA, count},
+		}},
+		{name: "fused no filter", fused: true, pl: &Pipeline{
+			GroupBy: []*Expr{ColExpr(0, colF), ColExpr(0, colG)},
+			Aggs:    []Agg{sumA, count},
+		}},
+		{name: "fused several conjuncts and byte-column sum", fused: true, pl: &Pipeline{
+			Filter:  and(cmp(Lt, colA, 30), and(cmp(Ge, colB, -600_000), cmp(Ne, colG, 5))),
+			GroupBy: []*Expr{ColExpr(0, colF), ColExpr(0, colG)},
+			Aggs: []Agg{sumA, count,
+				{Kind: AggSum, Arg: ColExpr(0, colG)}, {Kind: AggCount}},
+		}},
+		{name: "min aggregate keeps the staged dense path", pl: &Pipeline{
+			Filter:  cmp(Lt, colA, 10),
+			GroupBy: []*Expr{ColExpr(0, colF), ColExpr(0, colG)},
+			Aggs:    []Agg{sumA, {Kind: AggMin, Arg: ColExpr(0, colB)}},
+		}},
+		{name: "computed conjunct keeps the staged dense path", pl: &Pipeline{
+			Filter: &Pred{Op: PredCmp, Cmp: Lt,
+				A: Bin(OpAdd, ColExpr(0, colA), ColExpr(0, colB)), B: ConstExpr(10)},
+			GroupBy: []*Expr{ColExpr(0, colF)},
+			Aggs:    []Agg{sumA, count},
+		}},
+		{name: "hash grouping grows past its estimate", pl: &Pipeline{
+			Filter:    cmp(Ge, colA, -40),
+			GroupBy:   []*Expr{ColExpr(0, colK)},
+			Aggs:      []Agg{sumA, count},
+			EstGroups: 4,
+		}},
+		{name: "grouping on a computed key", pl: &Pipeline{
+			GroupBy: []*Expr{Bin(OpAdd, ColExpr(0, colF), ConstExpr(100))},
+			Aggs:    []Agg{sumA, count},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.pl.Tables = []TableRef{tr}
+			p := CompileFast(tc.pl, bound)
+			if p == nil {
+				t.Fatal("CompileFast declined a join-free pipeline")
+			}
+			if (p.fused != nil) != tc.fused {
+				t.Errorf("fused executor engaged = %v, want %v", p.fused != nil, tc.fused)
+			}
+			want := naiveResult(tc.pl, bound)
+			for _, threads := range []int{1, 2, 5} {
+				got, _ := p.Execute(threads)
+				if got != want {
+					t.Errorf("threads=%d: got %+v, want %+v", threads, got, want)
+				}
+			}
+			// Pooled workers must reset cleanly: a second pass over the
+			// same plan sees reused state.
+			if got, _ := p.Execute(3); got != want {
+				t.Errorf("second execution diverged: got %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestFastPlanEmptyTable pins the zero-row edge for scalar and fused
+// grouped shapes.
+func TestFastPlanEmptyTable(t *testing.T) {
+	tr, bound := fastFixture(0,
+		fastCol{name: "a", i64: []int64{}}, fastCol{name: "f", i8: []byte{}})
+	for _, pl := range []*Pipeline{
+		{Tables: []TableRef{tr}, Filter: cmp(Lt, 0, 10),
+			Aggs: []Agg{{Kind: AggSum, Arg: ColExpr(0, 0)}, {Kind: AggCount}}},
+		{Tables: []TableRef{tr}, GroupBy: []*Expr{ColExpr(0, 1)},
+			Aggs: []Agg{{Kind: AggCount}}},
+	} {
+		p := CompileFast(pl, bound)
+		if p == nil {
+			t.Fatal("CompileFast declined the empty table")
+		}
+		want := naiveResult(pl, bound)
+		if got, _ := p.Execute(4); got != want {
+			t.Errorf("empty table: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestCompileFastDeclinesJoins pins the fallback contract: joined
+// pipelines go back to the engines' nil-probe path.
+func TestCompileFastDeclinesJoins(t *testing.T) {
+	tr, bound := fastFixture(8, fastCol{name: "a", i64: make([]int64, 8)})
+	build := TableRef{Name: "b", Cols: []ColSpec{{Name: "x", Kind: I64}}, Rows: 8}
+	pl := &Pipeline{
+		Tables: []TableRef{tr, build},
+		Joins:  []Join{{Build: 1, BuildKey: ColExpr(1, 0), ProbeKey: ColExpr(0, 0)}},
+		Aggs:   []Agg{{Kind: AggCount}},
+	}
+	if CompileFast(pl, bound) != nil {
+		t.Fatal("CompileFast must decline joined pipelines")
+	}
+}
+
+// TestDivMagic checks the strength-reduced signed division against the
+// hardware operator across divisor structure (powers of two and their
+// neighbors, both signs, the int64 extremes) and a value sweep that
+// includes every boundary the shift-and-fix sequence could mishandle.
+func TestDivMagic(t *testing.T) {
+	divisors := []int64{math.MaxInt64, math.MaxInt64 - 1, math.MinInt64 + 1}
+	for d := int64(2); d <= 300; d++ {
+		divisors = append(divisors, d, -d)
+	}
+	for k := uint(1); k < 63; k++ {
+		p := int64(1) << k
+		divisors = append(divisors, p, -p, p+1, -(p + 1))
+	}
+	values := []int64{0, 1, -1, 2, -2, math.MaxInt64, math.MinInt64,
+		math.MaxInt64 - 1, math.MinInt64 + 1}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4000; i++ {
+		values = append(values, rng.Int63()-rng.Int63())
+	}
+	for _, d := range divisors {
+		if d == 0 || d == 1 || d == -1 || d == math.MinInt64 {
+			continue
+		}
+		m, s := divMagic(d)
+		var adj int64
+		if d > 0 && m < 0 {
+			adj = 1
+		} else if d < 0 && m > 0 {
+			adj = -1
+		}
+		for _, n := range values {
+			q := mulHi(m, n) + n*adj
+			q >>= s
+			q += int64(uint64(q) >> 63)
+			if q != n/d {
+				t.Fatalf("divMagic(%d): %d/%d = %d, got %d (m=%d s=%d)", d, n, d, n/d, q, m, s)
+			}
+		}
+	}
+}

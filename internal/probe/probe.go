@@ -13,7 +13,11 @@ import (
 	"olapmicro/internal/mem"
 )
 
-// Probe collects one profiled run's events.
+// Probe collects one profiled run's events. A nil *Probe is the
+// profile-free fast-execution mode: every event method is a
+// nil-receiver no-op, so the engines run their real computation —
+// and return bit-identical results — without paying for any
+// simulation accounting.
 type Probe struct {
 	Machine  *hw.Machine
 	Mem      *mem.Hierarchy
@@ -61,6 +65,9 @@ func (p *Probe) ResetCounters() {
 
 // Load records a demand load of size bytes at addr.
 func (p *Probe) Load(addr, size uint64) {
+	if p == nil {
+		return
+	}
 	p.Ops.N[cpu.OpLoad]++
 	p.Mem.Load(addr, size)
 }
@@ -69,6 +76,9 @@ func (p *Probe) Load(addr, size uint64) {
 // of prior loads (a filtered column read at a selection-vector
 // position): DRAM misses overlap at line-fill-buffer depth.
 func (p *Probe) SparseLoad(addr, size uint64) {
+	if p == nil {
+		return
+	}
 	p.Ops.N[cpu.OpLoad]++
 	p.Mem.LoadIndep(addr, size)
 }
@@ -77,11 +87,17 @@ func (p *Probe) SparseLoad(addr, size uint64) {
 // without a per-lane micro-op: the gather instruction's uops are
 // charged separately by the caller at lane granularity.
 func (p *Probe) GatherLoad(addr, size uint64) {
+	if p == nil {
+		return
+	}
 	p.Mem.LoadIndep(addr, size)
 }
 
 // Store records a demand store of size bytes at addr.
 func (p *Probe) Store(addr, size uint64) {
+	if p == nil {
+		return
+	}
 	p.Ops.N[cpu.OpStore]++
 	p.Mem.Store(addr, size)
 }
@@ -90,6 +106,9 @@ func (p *Probe) Store(addr, size uint64) {
 // micro-op per element of elemSize bytes. It is the batched form used
 // by column scans.
 func (p *Probe) SeqLoad(base, totalBytes, elemSize uint64) {
+	if p == nil {
+		return
+	}
 	if totalBytes == 0 {
 		return
 	}
@@ -103,6 +122,9 @@ func (p *Probe) SeqLoad(base, totalBytes, elemSize uint64) {
 // SeqStore streams totalBytes of stores from base (one store uop per
 // element), the materialization pattern of the vectorized engine.
 func (p *Probe) SeqStore(base, totalBytes, elemSize uint64) {
+	if p == nil {
+		return
+	}
 	if totalBytes == 0 {
 		return
 	}
@@ -114,26 +136,54 @@ func (p *Probe) SeqStore(base, totalBytes, elemSize uint64) {
 }
 
 // ALU records n simple arithmetic/logic micro-ops.
-func (p *Probe) ALU(n uint64) { p.Ops.N[cpu.OpALU] += n }
+func (p *Probe) ALU(n uint64) {
+	if p == nil {
+		return
+	}
+	p.Ops.N[cpu.OpALU] += n
+}
 
 // Mul records n multiply-class micro-ops (hash mixing, multiplication).
-func (p *Probe) Mul(n uint64) { p.Ops.N[cpu.OpMul] += n }
+func (p *Probe) Mul(n uint64) {
+	if p == nil {
+		return
+	}
+	p.Ops.N[cpu.OpMul] += n
+}
 
 // SIMD records n vector micro-ops.
-func (p *Probe) SIMD(n uint64) { p.Ops.N[cpu.OpSIMD] += n }
+func (p *Probe) SIMD(n uint64) {
+	if p == nil {
+		return
+	}
+	p.Ops.N[cpu.OpSIMD] += n
+}
 
 // Dep adds cycles to the critical dependency chain (e.g. a loop-carried
 // accumulator or a serial hash computation).
-func (p *Probe) Dep(cycles uint64) { p.Ops.DepCycles += cycles }
+func (p *Probe) Dep(cycles uint64) {
+	if p == nil {
+		return
+	}
+	p.Ops.DepCycles += cycles
+}
 
 // ExecPressure adds execution-resource pressure cycles that the port
 // maxima cannot express (store-buffer/AGU pressure of materialization-
 // heavy execution); see engine.TectorwiseCosts.
-func (p *Probe) ExecPressure(cycles uint64) { p.Ops.ExtraExecCycles += cycles }
+func (p *Probe) ExecPressure(cycles uint64) {
+	if p == nil {
+		return
+	}
+	p.Ops.ExtraExecCycles += cycles
+}
 
 // BranchOp records a conditional branch at a call-site id with its
 // outcome, running it through the branch predictor.
 func (p *Probe) BranchOp(site uint64, taken bool) {
+	if p == nil {
+		return
+	}
 	p.Ops.N[cpu.OpBranch]++
 	p.Branch.Observe(site, taken)
 }
@@ -143,6 +193,9 @@ func (p *Probe) BranchOp(site uint64, taken bool) {
 // dispatch branches of an interpreter, whose misprediction rate is a
 // property of the engine, not of the data.
 func (p *Probe) BranchStatic(n, misp uint64) {
+	if p == nil {
+		return
+	}
 	p.Ops.N[cpu.OpBranch] += n
 	p.Branch.Branches += n
 	p.Branch.Mispredicts += misp
@@ -151,6 +204,9 @@ func (p *Probe) BranchStatic(n, misp uint64) {
 // LoopBranch records n iterations of a loop back-edge branch: all
 // taken, predicted correctly except the final fall-through.
 func (p *Probe) LoopBranch(site uint64, n uint64) {
+	if p == nil {
+		return
+	}
 	if n == 0 {
 		return
 	}
@@ -164,13 +220,26 @@ func (p *Probe) LoopBranch(site uint64, n uint64) {
 // SetFootprint declares the engine's hot-path instruction footprint and
 // how many times it is traversed (frontend model inputs).
 func (p *Probe) SetFootprint(bytes, traversals uint64) {
+	if p == nil {
+		return
+	}
 	p.Frontend.FootprintBytes = bytes
 	p.Frontend.Traversals = traversals
 }
 
 // AddTraversals records n additional traversals of the configured
 // footprint (a worker executing n more morsel chunks).
-func (p *Probe) AddTraversals(n uint64) { p.Frontend.Traversals += n }
+func (p *Probe) AddTraversals(n uint64) {
+	if p == nil {
+		return
+	}
+	p.Frontend.Traversals += n
+}
 
 // AddDecodeEvents feeds the decode-inefficiency model.
-func (p *Probe) AddDecodeEvents(n uint64) { p.Frontend.DecodeEvents += n }
+func (p *Probe) AddDecodeEvents(n uint64) {
+	if p == nil {
+		return
+	}
+	p.Frontend.DecodeEvents += n
+}

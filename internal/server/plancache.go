@@ -29,12 +29,22 @@ func PlanKey(text, engine string, threads int) string {
 // fresh address space), so one cached plan may execute on any number
 // of in-flight queries at once.
 type planCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	byKey map[string]*list.Element
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	byKey   map[string]*list.Element
+	flights map[string]*inflight
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, dedups uint64
+}
+
+// inflight is one compilation in progress: the first miss on a key
+// owns it, later misses on the same key wait on done and share the
+// owner's outcome instead of compiling the same plan again.
+type inflight struct {
+	done chan struct{}
+	c    *sql.Compiled
+	err  error
 }
 
 type planEntry struct {
@@ -46,7 +56,7 @@ func newPlanCache(capacity int) *planCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &planCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+	return &planCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element), flights: make(map[string]*inflight)}
 }
 
 // get returns the cached plan for key and promotes it to most
@@ -65,13 +75,16 @@ func (pc *planCache) get(key string) (*sql.Compiled, bool) {
 }
 
 // put inserts (or refreshes) a plan and evicts from the LRU tail past
-// capacity. Two queries missing on the same key may both compile and
-// put — the second overwrites the first, the entry count never
-// exceeds capacity, and the duplicate work is bounded by the
-// in-flight limit.
+// capacity. Callers racing get-then-put on one key may still both
+// compile; the server's execute path goes through getOrCompile, which
+// dedupes the compilation instead.
 func (pc *planCache) put(key string, c *sql.Compiled) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	pc.putLocked(key, c)
+}
+
+func (pc *planCache) putLocked(key string, c *sql.Compiled) {
 	if e, ok := pc.byKey[key]; ok {
 		e.Value.(*planEntry).c = c
 		pc.ll.MoveToFront(e)
@@ -86,6 +99,53 @@ func (pc *planCache) put(key string, c *sql.Compiled) {
 	}
 }
 
+// getOrCompile returns the cached plan for key, or runs compile
+// exactly once per concurrent miss group: the first miss compiles
+// while later misses on the same key block and adopt its outcome
+// (counted in dedups — they are still misses, not hits, since no
+// cached entry served them). Errors propagate to every waiter and are
+// never cached, so the next request retries. cached reports whether a
+// cache entry (not a fresh or deduped compilation) served the call.
+//
+// count selects whether the lookup lands in the hit/miss counters; the
+// server's nested template lookup passes false so one submission still
+// counts as exactly one plan-cache lookup. Dedups always count — they
+// measure saved compilations, not lookups.
+func (pc *planCache) getOrCompile(key string, count bool, compile func() (*sql.Compiled, error)) (c *sql.Compiled, cached bool, err error) {
+	pc.mu.Lock()
+	if e, ok := pc.byKey[key]; ok {
+		if count {
+			pc.hits++
+		}
+		pc.ll.MoveToFront(e)
+		pc.mu.Unlock()
+		return e.Value.(*planEntry).c, true, nil
+	}
+	if count {
+		pc.misses++
+	}
+	if f, ok := pc.flights[key]; ok {
+		pc.dedups++
+		pc.mu.Unlock()
+		<-f.done
+		return f.c, false, f.err
+	}
+	f := &inflight{done: make(chan struct{})}
+	pc.flights[key] = f
+	pc.mu.Unlock()
+
+	f.c, f.err = compile()
+
+	pc.mu.Lock()
+	delete(pc.flights, key)
+	if f.err == nil {
+		pc.putLocked(key, f.c)
+	}
+	pc.mu.Unlock()
+	close(f.done)
+	return f.c, false, f.err
+}
+
 // len reports the current entry count.
 func (pc *planCache) len() int {
 	pc.mu.Lock()
@@ -93,9 +153,11 @@ func (pc *planCache) len() int {
 	return pc.ll.Len()
 }
 
-// counters snapshots the hit/miss/eviction totals.
-func (pc *planCache) counters() (hits, misses, evictions uint64) {
+// counters snapshots the hit/miss/eviction/dedup totals. dedups
+// counts misses that joined another caller's in-flight compilation
+// instead of compiling themselves; it is a subset of misses.
+func (pc *planCache) counters() (hits, misses, evictions, dedups uint64) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return pc.hits, pc.misses, pc.evictions
+	return pc.hits, pc.misses, pc.evictions, pc.dedups
 }

@@ -2,7 +2,9 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"olapmicro/internal/sql"
@@ -72,7 +74,7 @@ func TestPlanCacheEviction(t *testing.T) {
 	if _, ok := pc.get("c"); !ok {
 		t.Error("c must be cached")
 	}
-	hits, misses, evictions := pc.counters()
+	hits, misses, evictions, _ := pc.counters()
 	if evictions != 1 {
 		t.Errorf("evictions %d, want 1", evictions)
 	}
@@ -93,6 +95,102 @@ func TestPlanCacheMinCapacity(t *testing.T) {
 	pc.put("b", &sql.Compiled{})
 	if pc.len() != 1 {
 		t.Fatalf("len %d, want 1", pc.len())
+	}
+}
+
+// Concurrent misses on one key must compile exactly once: the first
+// miss owns the compilation, later misses wait and share its outcome,
+// counted in the dedup counter. This pins the fix for the get-then-put
+// race where two racing misses both compiled and one Compiled was
+// silently discarded.
+func TestPlanCacheSingleFlight(t *testing.T) {
+	pc := newPlanCache(8)
+	var compiles int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compile := func() (*sql.Compiled, error) {
+		if atomic.AddInt64(&compiles, 1) == 1 {
+			close(started)
+		}
+		<-release // hold the flight open so every goroutine piles on
+		return &sql.Compiled{}, nil
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]*sql.Compiled, goroutines)
+	cachedFlags := make([]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, cached, err := pc.getOrCompile("q", true, compile)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+			results[g] = c
+			cachedFlags[g] = cached
+		}(g)
+	}
+	<-started
+	// Let the stragglers reach the in-flight wait, then release.
+	for {
+		pc.mu.Lock()
+		waiting := len(pc.flights) > 0 && pc.dedups >= goroutines-1
+		pc.mu.Unlock()
+		if waiting {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := atomic.LoadInt64(&compiles); n != 1 {
+		t.Fatalf("compile ran %d times, want exactly 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different Compiled", g)
+		}
+	}
+	for g, cached := range cachedFlags {
+		if cached {
+			t.Errorf("goroutine %d reported a cache hit; deduped misses are not hits", g)
+		}
+	}
+	hits, misses, _, dedups := pc.counters()
+	if misses != goroutines {
+		t.Errorf("misses %d, want %d (dedups still count as misses)", misses, goroutines)
+	}
+	if dedups != goroutines-1 {
+		t.Errorf("dedups %d, want %d", dedups, goroutines-1)
+	}
+	if hits != 0 {
+		t.Errorf("hits %d, want 0", hits)
+	}
+	// The winner's plan is now cached: the next lookup hits.
+	if _, cached, _ := pc.getOrCompile("q", true, compile); !cached {
+		t.Error("post-flight lookup must hit the cache")
+	}
+}
+
+// Failed compilations propagate to every waiter and are never cached,
+// so the next request retries.
+func TestPlanCacheSingleFlightError(t *testing.T) {
+	pc := newPlanCache(8)
+	boom := fmt.Errorf("syntax error")
+	if _, _, err := pc.getOrCompile("bad", true, func() (*sql.Compiled, error) { return nil, boom }); err != boom {
+		t.Fatalf("err %v, want %v", err, boom)
+	}
+	if pc.len() != 0 {
+		t.Fatalf("failed compile must not cache; len %d", pc.len())
+	}
+	// The error is not sticky: a later compile that succeeds caches.
+	c, cached, err := pc.getOrCompile("bad", true, func() (*sql.Compiled, error) { return &sql.Compiled{}, nil })
+	if err != nil || cached || c == nil {
+		t.Fatalf("retry got c=%v cached=%v err=%v", c, cached, err)
+	}
+	if _, cached, _ := pc.getOrCompile("bad", true, nil); !cached {
+		t.Error("retry's plan must now be cached")
 	}
 }
 
@@ -118,7 +216,7 @@ func TestPlanCacheConcurrency(t *testing.T) {
 	if pc.len() > 8 {
 		t.Fatalf("capacity exceeded: %d", pc.len())
 	}
-	hits, misses, _ := pc.counters()
+	hits, misses, _, _ := pc.counters()
 	if hits+misses != 8*500 {
 		t.Errorf("lookups %d, want %d", hits+misses, 8*500)
 	}

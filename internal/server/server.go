@@ -16,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,8 +122,14 @@ type Response struct {
 	Parallel *parallel.Result
 	// Threads and Morsels describe the scan-phase shape.
 	Threads, Morsels int
-	// CacheHit reports whether the plan came from the plan cache.
+	// CacheHit reports whether the plan came from the plan cache. A
+	// submission that joined another's in-flight compilation reports
+	// false: no cached entry served it.
 	CacheHit bool
+	// Fast reports profile-free fast execution: Result is bit-identical
+	// to a measured run's, but Profile is zero and Parallel nil — no
+	// simulated cores ran.
+	Fast bool
 	// Queued is the host-clock admission wait; Wall the host-clock
 	// submit-to-finish latency.
 	Queued, Wall time.Duration
@@ -168,6 +176,9 @@ type SubmitOption func(*submitConfig)
 type submitConfig struct {
 	engine  string
 	threads int
+	args    []int64
+	hasArgs bool
+	fast    bool
 }
 
 // WithEngine forces this submission's engine ("typer", "tectorwise"
@@ -182,6 +193,26 @@ func WithThreads(n int) SubmitOption {
 	return func(c *submitConfig) { c.threads = n }
 }
 
+// WithArgs executes the statement as a prepared template: the text's
+// `?` placeholders are bound to args (dates as days since the TPC-H
+// epoch, 1992-01-01), in
+// source order. The plan cache keys the unbound template, so
+// executions differing only in arguments share one compilation. The
+// argument count must match the placeholder count exactly.
+func WithArgs(args []int64) SubmitOption {
+	return func(c *submitConfig) { c.args = args; c.hasArgs = true }
+}
+
+// WithFast runs this submission in profile-free fast mode: the real
+// computation, morsel partition and merge are exactly the measured
+// path's — the Result is bit-identical — but no probes attach, so no
+// micro-architectural events are simulated and the Response carries no
+// Profile. EXPLAIN and EXPLAIN ANALYZE statements ignore the flag:
+// they exist to show plans and profiles.
+func WithFast() SubmitOption {
+	return func(c *submitConfig) { c.fast = true }
+}
+
 // Stats is a snapshot of the service counters, taken under one lock
 // acquisition: the outcome counters and the occupancy always satisfy
 // Submitted == Completed + Failed + Canceled + InFlight + Queued in
@@ -193,11 +224,16 @@ type Stats struct {
 	// Submission outcomes. Submitted counts accepted submissions;
 	// Rejected the ErrOverloaded refusals (not included in Submitted).
 	Submitted, Completed, Failed, Canceled, Rejected uint64
+	// FastCompleted counts the completions that ran in profile-free
+	// fast mode (a subset of Completed).
+	FastCompleted uint64
 	// Instantaneous occupancy.
 	InFlight, Queued int
-	// Plan-cache counters.
-	PlanHits, PlanMisses, PlanEvictions uint64
-	PlanEntries, PlanCapacity           int
+	// Plan-cache counters. PlanDedups counts misses that joined another
+	// submission's in-flight compilation instead of compiling the same
+	// key themselves (a subset of PlanMisses).
+	PlanHits, PlanMisses, PlanEvictions, PlanDedups uint64
+	PlanEntries, PlanCapacity                       int
 	// Pool shape.
 	Workers, QueryThreads int
 }
@@ -230,6 +266,7 @@ type Server struct {
 	// consistent, not a torn read of independent atomics.
 	st struct {
 		submitted, completed, failed, canceled, rejected uint64
+		fast                                             uint64
 		inflight, queued                                 int
 	}
 
@@ -337,7 +374,7 @@ func (s *Server) Cancel(id uint64) error {
 // Stats snapshots the service counters atomically (one acquisition
 // of the server lock covers every outcome counter and the occupancy).
 func (s *Server) Stats() Stats {
-	hits, misses, evictions := s.plans.counters()
+	hits, misses, evictions, dedups := s.plans.counters()
 	s.mu.Lock()
 	st := s.st
 	s.mu.Unlock()
@@ -347,11 +384,13 @@ func (s *Server) Stats() Stats {
 		Failed:        st.failed,
 		Canceled:      st.canceled,
 		Rejected:      st.rejected,
+		FastCompleted: st.fast,
 		InFlight:      st.inflight,
 		Queued:        st.queued,
 		PlanHits:      hits,
 		PlanMisses:    misses,
 		PlanEvictions: evictions,
+		PlanDedups:    dedups,
 		PlanEntries:   s.plans.len(),
 		PlanCapacity:  s.cfg.PlanCache,
 		Workers:       s.cfg.Workers,
@@ -383,6 +422,9 @@ func (s *Server) finish(t *Ticket, resp *Response, err error, inflight bool) {
 	switch {
 	case err == nil:
 		s.st.completed++
+		if resp != nil && resp.Fast {
+			s.st.fast++
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.st.canceled++
 	default:
@@ -444,6 +486,9 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 	}
 	if err == nil {
 		s.tel.WallMs.Observe(float64(wall) / float64(time.Millisecond))
+		if resp != nil && resp.Fast {
+			s.tel.FastWallMs.Observe(float64(wall) / float64(time.Millisecond))
+		}
 	}
 	// Release the in-flight slot before finish closes the ticket, so
 	// a waiter that just observed completion never reads a stale
@@ -452,23 +497,88 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 	s.finish(t, resp, err, true)
 }
 
+// argsKey renders bound arguments as a cache-key suffix.
+func argsKey(args []int64) string {
+	var b strings.Builder
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(a, 10))
+	}
+	return b.String()
+}
+
+// plan resolves one submission's compiled, fully-bound plan through
+// the two-level plan cache. Every statement is keyed on its template:
+// explicit prepared executions (WithArgs) use their text verbatim,
+// while plain literal texts are auto-parameterized by sql.Parameterize
+// so literal-varied repetitions of one workload statement share a
+// single template compilation. Bound plans are additionally cached
+// under template-key + arguments, so exact repetitions skip the bind
+// replan too — the behavior literal texts always had. Compilation and
+// bind are both single-flighted per key; text the lexer rejects never
+// caches (its compile fails, and failures are never stored).
+//
+// cached reports whether the execution-ready (bound) plan came from
+// the cache — the bit Response.CacheHit and the stats hit counters
+// expose; the nested template lookup is deliberately uncounted so one
+// submission is still one lookup.
+func (s *Server) plan(text string, sc submitConfig, span *obs.Span) (c *sql.Compiled, cached bool, err error) {
+	template, args := text, sc.args
+	if !sc.hasArgs {
+		if tmpl, auto, ok := sql.Parameterize(text); ok {
+			template, args = tmpl, auto
+		}
+	}
+	key := PlanKey(template, sc.engine, sc.threads)
+	compileTemplate := func(counted bool) func() (*sql.Compiled, error) {
+		return func() (*sql.Compiled, error) {
+			t0 := time.Now() //olap:allow wallclock compile-time telemetry
+			tc, err := sql.Compile(s.cfg.Data, s.cfg.Machine, template,
+				sql.Options{Engine: sc.engine, Threads: sc.threads, Trace: span})
+			if err == nil && counted {
+				s.tel.CompileMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond)) //olap:allow wallclock compile-time telemetry
+			}
+			return tc, err
+		}
+	}
+	if len(args) == 0 {
+		c, cached, err = s.plans.getOrCompile(key, true, compileTemplate(true))
+		if err != nil {
+			return nil, false, err
+		}
+		if c.Params > 0 {
+			// Zero arguments for a parameterized template: let Bind
+			// phrase the arity error.
+			_, err = c.Bind(nil)
+			return nil, false, err
+		}
+		return c, cached, nil
+	}
+	boundKey := key + "\x00" + argsKey(args)
+	return s.plans.getOrCompile(boundKey, true, func() (*sql.Compiled, error) {
+		tc, _, err := s.plans.getOrCompile(key, false, compileTemplate(false))
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now() //olap:allow wallclock compile-time telemetry
+		bc, err := tc.BindTraced(args, span)
+		if err == nil {
+			s.tel.CompileMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond)) //olap:allow wallclock compile-time telemetry
+		}
+		return bc, err
+	})
+}
+
 // execute compiles (through the plan cache) and runs one statement on
 // the shared pool, hanging its phase spans under root.
 func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span) (*Response, error) {
 	plan := root.Child("plan")
-	key := PlanKey(text, sc.engine, sc.threads)
-	c, hit := s.plans.get(key)
-	if !hit {
-		t0 := time.Now() //olap:allow wallclock compile-time telemetry
-		var err error
-		c, err = sql.Compile(s.cfg.Data, s.cfg.Machine, text,
-			sql.Options{Engine: sc.engine, Threads: sc.threads, Trace: plan})
-		if err != nil {
-			plan.End()
-			return nil, err
-		}
-		s.tel.CompileMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond)) //olap:allow wallclock compile-time telemetry
-		s.plans.put(key, c)
+	c, hit, err := s.plan(text, sc, plan)
+	if err != nil {
+		plan.End()
+		return nil, err
 	}
 	plan.Annotate("cache=%v", hit)
 	plan.End()
@@ -496,6 +606,59 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 		return resp, nil
 	}
 
+	if sc.fast {
+		if fp := c.FastPlan(); fp != nil {
+			// The vectorized fast plan is cached on the Compiled, which
+			// the plan cache shares across sessions: repeated EXECUTEs of
+			// one template skip planning and engine construction and run
+			// the compiled kernels directly. Queries here are
+			// sub-millisecond, so they run on their own goroutines rather
+			// than rotating through the shared morsel pool; the admission
+			// ticket already bounds how many execute at once.
+			if err := t.ctx.Err(); err != nil {
+				return nil, err
+			}
+			exec := root.Child("execute")
+			merged, used := fp.Execute(sc.threads)
+			exec.End()
+			s.tel.ExecMs.Observe(float64(exec.Duration()) / float64(time.Millisecond))
+			resp.Executed = true
+			resp.Fast = true
+			resp.Result = merged
+			resp.Threads = used
+			return resp, nil
+		}
+		// Fast mode for shapes the vectorized plan does not cover
+		// (joins): the same build, morsel partition, shared-pool scan
+		// and merge as the measured path below, but with a nil probe
+		// everywhere — no simulated cores attach, no events are
+		// accounted. The computation is real and identical, so Result is
+		// bit-identical to a measured run; Profile stays zero.
+		sp := root.Child("build")
+		as := probe.NewAddrSpace()
+		prep, err := c.Prepare(nil, as)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		sp.End()
+		morsels := parallel.Morsels(prep.Rows(), 0, prep.MorselAlign(), sc.threads)
+		workers := parallel.NewFastWorkers(as, prep,
+			morsels, sc.threads, fmt.Sprintf("server.q%d.w", t.ID))
+		if err := s.runScan(t, root, workers, morsels); err != nil {
+			return nil, err
+		}
+		sp = root.Child("finalize")
+		merged := relop.FinalizeProbed(nil, c.Pipeline, partialsOf(workers))
+		sp.End()
+		resp.Executed = true
+		resp.Fast = true
+		resp.Result = merged
+		resp.Threads = len(workers)
+		resp.Morsels = len(morsels)
+		return resp, nil
+	}
+
 	// Build phase: hash-join builds run once, serially, on the query's
 	// own probe; workers then probe the shared fragment concurrently.
 	sp := root.Child("build")
@@ -513,8 +676,35 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 	morsels := parallel.Morsels(prep.Rows(), 0, prep.MorselAlign(), sc.threads)
 	probes, workers := parallel.NewWorkers(s.cfg.Machine, mem.AllPrefetchers(), as, prep,
 		morsels, sc.threads, fmt.Sprintf("server.q%d.w", t.ID))
-	threads := len(workers)
+	if err := s.runScan(t, root, workers, morsels); err != nil {
+		return nil, err
+	}
 
+	sp = root.Child("finalize")
+	merged := relop.FinalizeProbed(buildProbe, c.Pipeline, partialsOf(workers))
+	r := parallel.Assemble(s.cfg.Machine, buildProbe, probes, merged, len(morsels))
+	sp.End()
+
+	resp.Executed = true
+	resp.Result = r.Result
+	resp.Parallel = r
+	resp.Threads = r.Threads
+	resp.Morsels = r.Morsels
+	prof := r.PerThread
+	prof.Seconds = r.Seconds
+	prof.BandwidthGBs = r.SocketBandwidthGBs
+	prof.Instructions = r.Single.Instructions
+	resp.Profile = prof
+	return resp, nil
+}
+
+// runScan drives one query's scan phase through the shared pool: one
+// share per worker, strided morsel assignment, an aggregated span per
+// worker under root's "execute" child. Measured and fast executions
+// schedule identically — the pool neither knows nor cares whether a
+// worker carries a probe.
+func (s *Server) runScan(t *Ticket, root *obs.Span, workers []relop.Worker, morsels []parallel.Morsel) error {
+	threads := len(workers)
 	exec := root.Child("execute")
 	if len(morsels) > 0 {
 		task := &poolTask{
@@ -541,28 +731,15 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 	}
 	exec.End()
 	s.tel.ExecMs.Observe(float64(exec.Duration()) / float64(time.Millisecond))
-	if err := t.ctx.Err(); err != nil {
-		return nil, err
-	}
+	return t.ctx.Err()
+}
 
-	sp = root.Child("finalize")
-	partials := make([]*relop.Partial, threads)
+// partialsOf collects every worker's thread-local partial for the
+// merge.
+func partialsOf(workers []relop.Worker) []*relop.Partial {
+	partials := make([]*relop.Partial, len(workers))
 	for i, w := range workers {
 		partials[i] = w.Partial()
 	}
-	merged := relop.FinalizeProbed(buildProbe, c.Pipeline, partials)
-	r := parallel.Assemble(s.cfg.Machine, buildProbe, probes, merged, len(morsels))
-	sp.End()
-
-	resp.Executed = true
-	resp.Result = r.Result
-	resp.Parallel = r
-	resp.Threads = r.Threads
-	resp.Morsels = r.Morsels
-	prof := r.PerThread
-	prof.Seconds = r.Seconds
-	prof.BandwidthGBs = r.SocketBandwidthGBs
-	prof.Instructions = r.Single.Instructions
-	resp.Profile = prof
-	return resp, nil
+	return partials
 }

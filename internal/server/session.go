@@ -18,6 +18,17 @@ import (
 //	                "result id=N ..." line when it finishes (results
 //	                of concurrent submissions interleave freely)
 //	query <sql>     synchronous submit: block and print the result
+//	prepare <name> <sql>
+//	                register a parameterized statement (`?`
+//	                placeholders) under name for this session
+//	execute <name> [args...]
+//	                submit the prepared statement with its placeholders
+//	                bound to the integer arguments (dates as TPC-H epoch-day
+//	                offsets), asynchronously like submit
+//	fast on|off     toggle profile-free fast mode for this session's
+//	                later submissions: results stay bit-identical, but
+//	                no micro-architectural profile is simulated (result
+//	                lines then carry fast=true and time=0)
 //	cancel <id>     cancel a pending submission
 //	stats           print the service counters
 //	metrics         print the Prometheus text exposition, each line
@@ -41,6 +52,12 @@ type Session struct {
 
 	mu      sync.Mutex // serializes writes; result lines come from many goroutines
 	pending sync.WaitGroup
+
+	// prepped and fast are session-local command state, touched only by
+	// the command loop (never by reporter goroutines), so they need no
+	// lock.
+	prepped map[string]string
+	fast    bool
 }
 
 // ServeSession speaks the protocol on r/w until quit or EOF; it
@@ -77,8 +94,14 @@ func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
 			ses.submit(rest, false)
 		case "query":
 			ses.submit(rest, true)
+		case "prepare":
+			ses.prepareCmd(rest)
+		case "execute":
+			ses.executeCmd(rest)
+		case "fast":
+			ses.fastCmd(rest)
 		default:
-			ses.printf("error unknown command %q (want submit, query, cancel, stats, metrics, wait, quit)", cmd)
+			ses.printf("error unknown command %q (want submit, query, prepare, execute, fast, cancel, stats, metrics, wait, quit)", cmd)
 		}
 	}
 	return in.Err()
@@ -97,12 +120,15 @@ func (ses *Session) printf(format string, args ...any) {
 }
 
 // submit accepts one statement; blocking waits for the result line.
-func (ses *Session) submit(text string, blocking bool) {
+func (ses *Session) submit(text string, blocking bool, opts ...SubmitOption) {
 	if text == "" {
 		ses.printf("error submit wants a statement")
 		return
 	}
-	t, err := ses.srv.QueryAsync(ses.ctx, text)
+	if ses.fast {
+		opts = append(opts, WithFast())
+	}
+	t, err := ses.srv.QueryAsync(ses.ctx, text, opts...)
 	if err != nil {
 		ses.printf("error %v", err)
 		return
@@ -119,22 +145,95 @@ func (ses *Session) submit(text string, blocking bool) {
 	}()
 }
 
+// prepareCmd registers a named parameterized statement for later
+// execute commands. The text is stored verbatim; its placeholders
+// compile (and cache) on first execution.
+func (ses *Session) prepareCmd(rest string) {
+	name, text, _ := strings.Cut(rest, " ")
+	text = strings.TrimSpace(text)
+	if name == "" || text == "" {
+		ses.printf("error prepare wants a name and a statement")
+		return
+	}
+	if ses.prepped == nil {
+		ses.prepped = make(map[string]string)
+	}
+	ses.prepped[name] = text
+	ses.printf("ok prepared name=%s", name)
+}
+
+// executeCmd submits a prepared statement with bound arguments,
+// asynchronously like submit.
+func (ses *Session) executeCmd(rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		ses.printf("error execute wants a prepared-statement name")
+		return
+	}
+	text, ok := ses.prepped[fields[0]]
+	if !ok {
+		ses.printf("error no prepared statement named %q", fields[0])
+		return
+	}
+	args := make([]int64, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			ses.printf("error execute wants integer arguments, got %q", f)
+			return
+		}
+		args = append(args, v)
+	}
+	ses.submit(text, false, WithArgs(args))
+}
+
+// fastCmd toggles profile-free fast mode for the session's later
+// submissions.
+func (ses *Session) fastCmd(arg string) {
+	switch strings.ToLower(arg) {
+	case "on":
+		ses.fast = true
+	case "off":
+		ses.fast = false
+	default:
+		ses.printf("error fast wants on or off, got %q", arg)
+		return
+	}
+	ses.printf("ok fast=%v", ses.fast)
+}
+
 // report waits for a ticket and prints its result line(s): a result
 // line for executed statements (EXPLAIN ANALYZE included), then the
-// multi-line explain body when one was rendered.
+// multi-line explain body when one was rendered. The wait is tied to
+// the session context — not context.Background(), which kept reporter
+// goroutines (and the session teardown waiting on them) blocked until
+// their queries drained even after the peer was gone. A dead session
+// has nobody to write to, so a session-cancel wait returns silently.
 func (ses *Session) report(t *Ticket) {
-	resp, err := t.Wait(context.Background())
+	resp, err := t.Wait(ses.ctx)
 	if err != nil {
+		if ses.ctx.Err() != nil {
+			// Dead session: nothing to write. The query context derives
+			// from the session's, so the submission is already canceled;
+			// wait for it to retire (bounded by one morsel) so teardown
+			// leaves no in-flight work behind, then exit silently.
+			<-t.Done()
+			return
+		}
 		ses.printf("result id=%d error %v", t.ID, err)
 		return
 	}
 	ses.mu.Lock()
 	defer ses.mu.Unlock()
 	if resp.Executed {
-		fmt.Fprintf(ses.out, "result id=%d ok engine=%s sum=%d rows=%d check=%016x time=%.2fms threads=%d morsels=%d cached=%v queued=%s wall=%s\n",
+		fast := ""
+		if resp.Fast {
+			fast = " fast=true"
+		}
+		fmt.Fprintf(ses.out, "result id=%d ok engine=%s sum=%d rows=%d check=%016x time=%.2fms threads=%d morsels=%d cached=%v queued=%s wall=%s%s\n",
 			resp.ID, resp.Engine, resp.Result.Sum, resp.Result.Rows, resp.Result.Check,
 			resp.Profile.Milliseconds(), resp.Threads, resp.Morsels, resp.CacheHit,
-			resp.Queued.Round(roundTo(resp.Queued)), resp.Wall.Round(roundTo(resp.Wall)))
+			resp.Queued.Round(roundTo(resp.Queued)), resp.Wall.Round(roundTo(resp.Wall)), fast)
 	} else {
 		fmt.Fprintf(ses.out, "result id=%d explain engine=%s cached=%v\n", resp.ID, resp.Engine, resp.CacheHit)
 	}
@@ -177,10 +276,10 @@ func (ses *Session) cancelCmd(arg string) {
 // printStats prints one stats line.
 func (ses *Session) printStats() {
 	st := ses.srv.Stats()
-	ses.printf("stats inflight=%d queued=%d submitted=%d completed=%d failed=%d canceled=%d rejected=%d "+
-		"plan-hits=%d plan-misses=%d plan-evictions=%d plan-entries=%d/%d hit-rate=%.2f workers=%d query-threads=%d",
-		st.InFlight, st.Queued, st.Submitted, st.Completed, st.Failed, st.Canceled, st.Rejected,
-		st.PlanHits, st.PlanMisses, st.PlanEvictions, st.PlanEntries, st.PlanCapacity,
+	ses.printf("stats inflight=%d queued=%d submitted=%d completed=%d failed=%d canceled=%d rejected=%d fast=%d "+
+		"plan-hits=%d plan-misses=%d plan-evictions=%d plan-dedups=%d plan-entries=%d/%d hit-rate=%.2f workers=%d query-threads=%d",
+		st.InFlight, st.Queued, st.Submitted, st.Completed, st.Failed, st.Canceled, st.Rejected, st.FastCompleted,
+		st.PlanHits, st.PlanMisses, st.PlanEvictions, st.PlanDedups, st.PlanEntries, st.PlanCapacity,
 		st.PlanHitRate(), st.Workers, st.QueryThreads)
 }
 

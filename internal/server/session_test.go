@@ -1,10 +1,14 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"fmt"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 // serve runs one scripted session and returns its output.
@@ -94,6 +98,64 @@ func TestSessionCancelPath(t *testing.T) {
 	}
 }
 
+// The prepare/execute/fast verbs: named templates bind integer
+// arguments per execution, fast mode flags its result lines, and both
+// executions of one template return identical sums for identical
+// arguments (fast vs measured bit-identity at the protocol surface).
+func TestSessionPrepareExecuteFast(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	out := serve(t, s, strings.Join([]string{
+		"prepare q select sum(l_extendedprice), count(*) from lineitem where l_quantity < ?",
+		"query select sum(l_extendedprice), count(*) from lineitem where l_quantity < 24",
+		"execute q 24",
+		"wait",
+		"fast on",
+		"execute q 24",
+		"wait",
+		"fast off",
+		"execute q",
+		"execute missing 1",
+		"execute q notanint",
+		"prepare broken",
+		"fast sideways",
+		"stats",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"ok prepared name=q",
+		"ok fast=true",
+		"ok fast=false",
+		"error sql: statement wants 1 argument(s), got 0",
+		`error no prepared statement named "missing"`,
+		`error execute wants integer arguments, got "notanint"`,
+		"error prepare wants a name and a statement",
+		`error fast wants on or off, got "sideways"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	res := regexp.MustCompile(`(?m)^result id=\d+ ok engine=\w+ sum=(\d+) rows=(\d+) .*$`)
+	lines := res.FindAllStringSubmatch(out, -1)
+	if len(lines) != 3 {
+		t.Fatalf("want 3 result lines (literal, measured execute, fast execute), got %d:\n%s", len(lines), out)
+	}
+	for i, m := range lines[1:] {
+		if m[1] != lines[0][1] || m[2] != lines[0][2] {
+			t.Errorf("execution %d sum/rows %s/%s differ from the literal run's %s/%s:\n%s",
+				i+1, m[1], m[2], lines[0][1], lines[0][2], out)
+		}
+	}
+	fast := regexp.MustCompile(`(?m)^result id=\d+ ok .*fast=true$`).FindAllString(out, -1)
+	if len(fast) != 1 {
+		t.Errorf("want exactly 1 fast-flagged result line, got %d:\n%s", len(fast), out)
+	}
+	// The literal text and both executions share one template plan.
+	if !regexp.MustCompile(`stats .*plan-hits=2 `).MatchString(out) {
+		t.Errorf("template cache should have served 2 of the 3 runs:\n%s", out)
+	}
+}
+
 // brokenWriter fails every write — a peer that hung up.
 type brokenWriter struct{}
 
@@ -105,6 +167,51 @@ func (brokenWriter) Write(p []byte) (int, error) {
 // failed write cancels the session context, so pending submissions
 // stop (as canceled or completed) and ServeSession returns instead of
 // serving nobody.
+// Regression for report's old t.Wait(context.Background()): a
+// reporter goroutine blocked on a pending query must exit promptly
+// when the session is canceled (the peer hung up mid-wait), not wait
+// out the query on its own schedule — and it must not write a result
+// line to the dead peer. The session's query context derives from the
+// session context, so cancel propagates: the queued query retires
+// without running and the reporter returns.
+func TestSessionReporterExitsOnHangup(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueryThreads: 1, MaxInFlight: 1, MaxQueue: 64})
+	// Occupy the single admission slot and a stretch of queue with
+	// independent (never-canceled) submissions so the session's own
+	// query is still pending when the peer disappears.
+	var blockers []*Ticket
+	for i := 0; i < 16; i++ {
+		bt, err := s.QueryAsync(context.Background(), testQueries[i%len(testQueries)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockers = append(blockers, bt)
+	}
+	var buf bytes.Buffer
+	ses := &Session{srv: s, out: bufio.NewWriter(&buf)}
+	ses.ctx, ses.cancel = context.WithCancel(context.Background())
+	tk, err := s.QueryAsync(ses.ctx, testQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { ses.report(tk); close(done) }()
+	ses.cancel() // the peer hangs up mid-wait
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reporter still blocked 10s after session cancel; report must wait with the session context")
+	}
+	if got := buf.String(); got != "" {
+		t.Errorf("canceled session's reporter wrote to the dead peer: %q", got)
+	}
+	for _, bt := range blockers {
+		if _, err := bt.Wait(context.Background()); err != nil {
+			t.Errorf("blocker query: %v", err)
+		}
+	}
+}
+
 func TestSessionDeadPeerCancels(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 2})
 	script := strings.Join([]string{

@@ -16,8 +16,10 @@ type Telemetry struct {
 
 	// QueueMs is admission wait, CompileMs plan compilation on a cache
 	// miss, ExecMs the shared-pool scan phase, WallMs submit-to-finish
-	// of completed queries — all host-clock milliseconds.
-	QueueMs, CompileMs, ExecMs, WallMs *obs.Histogram
+	// of completed queries — all host-clock milliseconds. FastWallMs is
+	// the submit-to-finish latency of the profile-free fast-mode subset
+	// (also present in WallMs).
+	QueueMs, CompileMs, ExecMs, WallMs, FastWallMs *obs.Histogram
 }
 
 // newTelemetry wires the registry against a server's counters.
@@ -35,6 +37,8 @@ func newTelemetry(s *Server) *Telemetry {
 	r.CounterFunc("olap_plan_cache_hits_total", stat(func(st Stats) uint64 { return st.PlanHits }))
 	r.CounterFunc("olap_plan_cache_misses_total", stat(func(st Stats) uint64 { return st.PlanMisses }))
 	r.CounterFunc("olap_plan_cache_evictions_total", stat(func(st Stats) uint64 { return st.PlanEvictions }))
+	r.CounterFunc("olap_plan_compile_dedup_total", stat(func(st Stats) uint64 { return st.PlanDedups }))
+	r.CounterFunc("olap_queries_fast_total", stat(func(st Stats) uint64 { return st.FastCompleted }))
 	r.GaugeFunc("olap_in_flight", func() float64 { return float64(s.Stats().InFlight) })
 	r.GaugeFunc("olap_queue_depth", func() float64 { return float64(s.Stats().Queued) })
 	r.GaugeFunc("olap_plan_cache_entries", func() float64 { return float64(s.plans.len()) })
@@ -47,6 +51,7 @@ func newTelemetry(s *Server) *Telemetry {
 	t.CompileMs = r.Histogram("olap_compile_ms", nil)
 	t.ExecMs = r.Histogram("olap_exec_ms", nil)
 	t.WallMs = r.Histogram("olap_wall_ms", nil)
+	t.FastWallMs = r.Histogram("olap_fast_wall_ms", nil)
 	return t
 }
 

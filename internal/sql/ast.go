@@ -43,6 +43,21 @@ func (n *NumLit) Pos() Pos { return n.P }
 // String renders the literal.
 func (n *NumLit) String() string { return fmt.Sprintf("%d", n.V) }
 
+// Param is a `?` placeholder of a prepared statement. Idx is its
+// 0-based source-order position; Compiled.Bind substitutes the
+// argument at that position (as a NumLit) before planning, so a bound
+// execution is indistinguishable from compiling the literal text.
+type Param struct {
+	P   Pos
+	Idx int
+}
+
+// Pos returns the source position.
+func (p *Param) Pos() Pos { return p.P }
+
+// String renders the placeholder.
+func (p *Param) String() string { return "?" }
+
 // DateLit is a date 'YYYY-MM-DD' literal; Days is the TPC-H epoch day
 // offset the planner compares against date columns.
 type DateLit struct {
@@ -178,6 +193,10 @@ type Select struct {
 	Having  Pred // nil when absent; may contain aggregate calls
 	OrderBy []OrderItem
 	Limit   int64 // -1 when absent
+	// Params counts the `?` placeholders, in source order; 0 for an
+	// ordinary statement. A statement with parameters must be bound
+	// (Compiled.Bind) before it can plan or execute.
+	Params int
 }
 
 // String renders the statement in canonical form: keywords lowercased,

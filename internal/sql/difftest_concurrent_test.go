@@ -21,11 +21,13 @@ import (
 )
 
 // TestDifferentialConcurrentStreams cross-checks the concurrent
-// scheduler against the serial executor over the whole corpus. A
+// scheduler against the serial executor over the whole corpus,
+// cycling each query through the three submission modes (measured
+// literal, profile-free fast, prepared template + bound arguments). A
 // mismatch fails with the reproducing SQL text, the base seed, the
-// query index and the stream count. Every stream count runs under
-// -short too (only the corpus shrinks), so the CI -race smoke covers
-// the full-pool 8-stream contention case, not just light load.
+// query index, the stream count and the mode. Every stream count runs
+// under -short too (only the corpus shrinks), so the CI -race smoke
+// covers the full-pool 8-stream contention case, not just light load.
 func TestDifferentialConcurrentStreams(t *testing.T) {
 	d, m := sql.DiffDB()
 	seed, n := sql.DiffSeedN(t)
@@ -77,18 +79,39 @@ func TestDifferentialConcurrentStreams(t *testing.T) {
 					defer wg.Done()
 					for i := s; i < len(corpus); i += streams {
 						// Alternate the engine per query so both run
-						// under concurrency.
+						// under concurrency, and cycle the submission
+						// mode: measured literal text, profile-free
+						// fast mode, and prepared (template + bound
+						// arguments) — all three must return the
+						// serial engine's exact result.
 						eng := "typer"
 						if i%2 == 1 {
 							eng = "tectorwise"
 						}
-						resp, err := srv.Submit(context.Background(), corpus[i].sql, server.WithEngine(eng))
+						opts := []server.SubmitOption{server.WithEngine(eng)}
+						text := corpus[i].sql
+						mode := i % 3
+						switch mode {
+						case 1:
+							opts = append(opts, server.WithFast())
+						case 2:
+							if tmpl, args, ok := sql.Parameterize(text); ok {
+								text = tmpl
+								opts = append(opts, server.WithArgs(args))
+							} else {
+								mode = 0
+							}
+						}
+						resp, err := srv.Submit(context.Background(), text, opts...)
 						if err != nil {
-							fail(i, "server on %s: %v", eng, err)
+							fail(i, "server on %s (mode %d): %v", eng, mode, err)
 							continue
 						}
 						if !resp.Result.Equal(corpus[i].res) {
-							fail(i, "server on %s disagrees: %v != serial %v", eng, resp.Result, corpus[i].res)
+							fail(i, "server on %s (mode %d) disagrees: %v != serial %v", eng, mode, resp.Result, corpus[i].res)
+						}
+						if want := mode == 1; resp.Fast != want {
+							fail(i, "mode %d response has fast=%v", mode, resp.Fast)
 						}
 					}
 				}(s)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
@@ -337,11 +338,11 @@ func TestDifferentialRandomQueries(t *testing.T) {
 			t.Fatalf("seed %d query %d:\n  %s\n  %s", seed, i, q.sql, fmt.Sprintf(format, args...))
 		}
 
-		_, ty, err := Run(d, m, q.sql, Options{Engine: "typer"})
+		cty, ty, err := Run(d, m, q.sql, Options{Engine: "typer"})
 		if err != nil {
 			fail("typer: %v", err)
 		}
-		_, tw, err := Run(d, m, q.sql, Options{Engine: "tectorwise"})
+		ctw, tw, err := Run(d, m, q.sql, Options{Engine: "tectorwise"})
 		if err != nil {
 			fail("tectorwise: %v", err)
 		}
@@ -353,12 +354,63 @@ func TestDifferentialRandomQueries(t *testing.T) {
 		if i%2 == 1 {
 			parEng = "tectorwise"
 		}
-		_, par, err := Run(d, m, q.sql, Options{Engine: parEng, Threads: 4})
+		cpar, par, err := Run(d, m, q.sql, Options{Engine: parEng, Threads: 4})
 		if err != nil {
 			fail("parallel(4) on %s: %v", parEng, err)
 		}
 		if !par.Result.Equal(ty.Result) {
 			fail("parallel(4) on %s disagrees: %v != serial %v", parEng, par.Result, ty.Result)
+		}
+
+		// Fast mode must be bit-identical to the measured runs it
+		// mirrors — serial on both engines, parallel on the alternate —
+		// with no probes attached at all.
+		if r, err := cty.ExecuteFast(1); err != nil {
+			fail("typer fast(1): %v", err)
+		} else if !r.Equal(ty.Result) {
+			fail("typer fast(1) disagrees: %v != measured %v", r, ty.Result)
+		}
+		if r, err := ctw.ExecuteFast(1); err != nil {
+			fail("tectorwise fast(1): %v", err)
+		} else if !r.Equal(tw.Result) {
+			fail("tectorwise fast(1) disagrees: %v != measured %v", r, tw.Result)
+		}
+		if r, err := cpar.ExecuteFast(4); err != nil {
+			fail("%s fast(4): %v", parEng, err)
+		} else if !r.Equal(par.Result) {
+			fail("%s fast(4) disagrees: %v != measured %v", parEng, r, par.Result)
+		}
+
+		// Prepared round-trip: auto-parameterize, compile the template,
+		// bind the extracted arguments, and the measured execution must
+		// be bit-identical — result AND profile — to the literal
+		// compile, alternating the engine with the query index.
+		if tmpl, args, ok := Parameterize(q.sql); ok {
+			ref := ty
+			if parEng == "tectorwise" {
+				ref = tw
+			}
+			ct, err := Compile(d, m, tmpl, Options{Engine: parEng})
+			if err != nil {
+				fail("template %q: %v", tmpl, err)
+			}
+			bound, err := ct.Bind(args)
+			if err != nil {
+				fail("bind %v onto %q: %v", args, tmpl, err)
+			}
+			ab, err := bound.Execute()
+			if err != nil {
+				fail("prepared execution on %s: %v", parEng, err)
+			}
+			if !ab.Result.Equal(ref.Result) {
+				fail("prepared execution disagrees: %v != literal %v", ab.Result, ref.Result)
+			}
+			if !reflect.DeepEqual(ab.Profile, ref.Profile) {
+				fail("prepared execution's measured profile differs from the literal compile's:\nprepared: %+v\nliteral:  %+v", ab.Profile, ref.Profile)
+			}
+			if !reflect.DeepEqual(ab.Inputs, ref.Inputs) {
+				fail("prepared execution's raw counters differ from the literal compile's")
+			}
 		}
 	}
 }

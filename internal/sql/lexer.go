@@ -180,7 +180,8 @@ scan:
 		}
 		return token{}, p.Errorf("unexpected character %q", "!")
 	case c == '(' || c == ')' || c == ',' || c == '*' || c == '+' ||
-		c == '-' || c == '/' || c == '=' || c == '.' || c == ';':
+		c == '-' || c == '/' || c == '=' || c == '.' || c == ';' ||
+		c == '?':
 		l.advance()
 		return token{kind: tokSymbol, text: string(c), pos: p}, nil
 	default:

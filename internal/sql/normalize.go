@@ -9,12 +9,16 @@ import "strings"
 // comments — normalize to the same string, while queries differing in
 // any literal, column or clause stay distinct; internal/server keys
 // its plan cache on this. Text the lexer rejects normalizes to its
-// trimmed self, so the later parse failure (not the cache) reports
-// the error.
+// trimmed self behind a NUL marker: a valid statement's normalization
+// always starts with its first keyword, never "\x00", so a rejected
+// text can never collide with — and poison — a valid statement's key.
+// (It used to return the bare trimmed text, so `select $bad` keyed the
+// same as a hypothetical valid spelling of that string.) The later
+// parse failure, not the cache, reports the error.
 func NormalizeSQL(text string) string {
 	toks, err := lexAll(text)
 	if err != nil {
-		return strings.TrimSpace(text)
+		return "\x00" + strings.TrimSpace(text)
 	}
 	var b strings.Builder
 	for _, t := range toks {

@@ -33,10 +33,23 @@ func TestNormalizeSQL(t *testing.T) {
 	}
 }
 
-// Unlexable text must still give a usable (trimmed, distinct) key.
+// Unlexable text must still give a usable (trimmed, distinct) key —
+// and one that can never collide with a valid statement's
+// normalization, which the "\x00" marker guarantees: no valid
+// normalization starts with NUL.
 func TestNormalizeSQLUnlexable(t *testing.T) {
-	if got := NormalizeSQL("  select $bad  "); got != "select $bad" {
-		t.Errorf("unlexable text should normalize to its trimmed self, got %q", got)
+	if got := NormalizeSQL("  select $bad  "); got != "\x00select $bad" {
+		t.Errorf("unlexable text should normalize to its NUL-marked trimmed self, got %q", got)
+	}
+	// Regression pin: a rejected text that happens to spell a valid
+	// statement's canonical form must not share its key.
+	valid := NormalizeSQL("select count(*) from lineitem")
+	rejected := NormalizeSQL(valid + " where l_tax < $oops")
+	if rejected == valid {
+		t.Fatalf("rejected text collided with a valid statement's key: %q", valid)
+	}
+	if rejected[0] != '\x00' {
+		t.Fatalf("rejected text key missing NUL marker: %q", rejected)
 	}
 }
 

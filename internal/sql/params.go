@@ -1,0 +1,151 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parameterize rewrites a literal statement into its prepared-statement
+// template: every integer literal and every date literal becomes a `?`
+// placeholder, and the extracted values (dates as TPC-H epoch-day
+// offsets) are returned in source order — exactly the arguments
+// Compiled.Bind wants. Literal-varied repetitions of one workload
+// statement therefore share a single template, which is what the
+// server keys its plan cache on.
+//
+// Two literal positions shape the plan itself and are never
+// parameterized: the LIMIT row count (it sizes the top-k operator),
+// and any ORDER BY item that is a single literal (ORDER BY n is
+// positional, and a bare date key binds differently from a number).
+//
+// ok is false when the text should not be templated at all: the lexer
+// rejects it, it already contains `?` placeholders (the caller binds
+// those explicitly), it is an EXPLAIN (the rendered plan should show
+// the real literals), or a literal is malformed. The caller then
+// compiles the original text directly and surfaces its error.
+func Parameterize(text string) (template string, args []int64, ok bool) {
+	toks, err := lexAll(text)
+	if err != nil {
+		return "", nil, false
+	}
+	if len(toks) > 0 && toks[0].kind == tokKeyword && toks[0].text == "explain" {
+		return "", nil, false
+	}
+	for _, t := range toks {
+		if t.kind == tokSymbol && t.text == "?" {
+			return "", nil, false
+		}
+	}
+
+	protected := protectedLiterals(toks)
+	var b strings.Builder
+	emit := func(s string) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s)
+	}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch {
+		case t.kind == tokEOF:
+		case t.kind == tokSymbol && t.text == ";":
+		case t.kind == tokNumber && !protected[i]:
+			v, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return "", nil, false
+			}
+			args = append(args, v)
+			emit("?")
+		case t.kind == tokKeyword && t.text == "date" && !protected[i] &&
+			i+1 < len(toks) && toks[i+1].kind == tokString:
+			dl, err := parseDate(toks[i+1])
+			if err != nil {
+				return "", nil, false
+			}
+			args = append(args, dl.Days)
+			emit("?")
+			i++ // the date's string literal is consumed with it
+		case t.kind == tokString:
+			emit("'" + t.text + "'")
+		default:
+			emit(t.text)
+		}
+	}
+	return b.String(), args, true
+}
+
+// protectedLiterals marks the literal tokens Parameterize must keep
+// verbatim: the LIMIT row count, and ORDER BY items that consist of a
+// single literal (one number, or one date literal), whose replacement
+// would change how the binder interprets the key.
+func protectedLiterals(toks []token) map[int]bool {
+	protected := map[int]bool{}
+	inOrderBy := false
+	itemStart := -1
+	// protectItem marks tokens [itemStart, end) when they form exactly
+	// one literal, ignoring a trailing asc/desc.
+	protectItem := func(end int) {
+		if itemStart < 0 || end <= itemStart {
+			return
+		}
+		last := end
+		if t := toks[last-1]; t.kind == tokKeyword && (t.text == "asc" || t.text == "desc") {
+			last--
+		}
+		n := last - itemStart
+		first := toks[itemStart]
+		switch {
+		case n == 1 && first.kind == tokNumber:
+			protected[itemStart] = true
+		case n == 2 && first.kind == tokKeyword && first.text == "date" && toks[itemStart+1].kind == tokString:
+			protected[itemStart] = true
+		}
+	}
+	depth := 0
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.kind == tokSymbol {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			case ",":
+				if inOrderBy && depth == 0 {
+					protectItem(i)
+					itemStart = i + 1
+				}
+			}
+			continue
+		}
+		if t.kind != tokKeyword {
+			continue
+		}
+		switch t.text {
+		case "order":
+			if i+1 < len(toks) && toks[i+1].kind == tokKeyword && toks[i+1].text == "by" {
+				inOrderBy = true
+				itemStart = i + 2
+				i++
+			}
+		case "limit":
+			if inOrderBy {
+				protectItem(i)
+				inOrderBy = false
+			}
+			if i+1 < len(toks) && toks[i+1].kind == tokNumber {
+				protected[i+1] = true
+			}
+		}
+	}
+	if inOrderBy {
+		// The statement ends inside ORDER BY (EOF or ';').
+		end := len(toks)
+		for end > 0 && (toks[end-1].kind == tokEOF || (toks[end-1].kind == tokSymbol && toks[end-1].text == ";")) {
+			end--
+		}
+		protectItem(end)
+	}
+	return protected
+}

@@ -10,8 +10,9 @@ import (
 // parser is a recursive-descent parser over the token stream. Errors
 // carry 1-based line:col positions.
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params int // `?` placeholders seen so far, in source order
 }
 
 // Parse parses one SELECT statement (optionally prefixed by EXPLAIN,
@@ -28,9 +29,14 @@ type parser struct {
 //	atom   := expr cmp expr | expr BETWEEN expr AND expr
 //	expr   := term (('+'|'-') term)*
 //	term   := factor (('*'|'/') factor)*
-//	factor := number | DATE 'Y-M-D' | [table'.']column |
+//	factor := number | '?' | DATE 'Y-M-D' | [table'.']column |
 //	          (SUM|COUNT|MIN|MAX) '(' expr | '*' ')' |
 //	          '(' expr ')' | '-' factor
+//
+// A '?' is a prepared-statement placeholder (Select.Params counts
+// them in source order); Compiled.Bind substitutes arguments before
+// the statement plans. LIMIT takes a literal row count only — its
+// value shapes the plan's top-k operator.
 //
 // HAVING predicates may contain aggregate calls; the binder restricts
 // them (and ORDER BY keys) to the aggregation's output columns.
@@ -44,6 +50,7 @@ func Parse(src string) (*Select, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Params = p.params
 	if p.cur().kind == tokSymbol && p.cur().text == ";" {
 		p.i++
 	}
@@ -388,6 +395,11 @@ func (p *parser) parseFactor() (Expr, error) {
 		return call, nil
 	case t.kind == tokIdent:
 		return p.parseColRef()
+	case t.kind == tokSymbol && t.text == "?":
+		p.i++
+		prm := &Param{P: t.pos, Idx: p.params}
+		p.params++
+		return prm, nil
 	case t.kind == tokSymbol && t.text == "(":
 		p.i++
 		x, err := p.parseExpr()

@@ -95,6 +95,10 @@ func (b *binder) bindExpr(x Expr) (*relop.Expr, error) {
 		return relop.Bin(op, l, r), nil
 	case *AggCall:
 		return nil, e.P.Errorf("aggregate %s is only allowed as a top-level select item", e.Fn)
+	case *Param:
+		// BuildPipeline only ever sees substituted statements: Bind
+		// replaces every Param with the bound literal before planning.
+		return nil, e.P.Errorf("parameter ? must be bound before the statement can plan")
 	default:
 		return nil, x.Pos().Errorf("unsupported expression")
 	}

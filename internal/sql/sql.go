@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"olapmicro/internal/engine"
 	"olapmicro/internal/engine/parallel"
@@ -36,12 +37,24 @@ type Options struct {
 
 // Compiled is a parsed, planned and cost-analyzed statement, ready to
 // execute (possibly several times, or on a forced engine).
+//
+// A statement with `?` placeholders compiles into an unbound template:
+// Params > 0, Pipeline and Predictions are nil, and Bind must
+// substitute arguments before anything executes. Binding replans the
+// substituted statement from scratch — every value-dependent planning
+// decision (selectivity sampling, group-count estimates, engine
+// auto-selection) is made exactly as if the literal text had been
+// compiled, so bound executions return bit-identical results and
+// profiles to their literal forms.
 type Compiled struct {
 	Stmt        *Select
 	Pipeline    *relop.Pipeline
 	Predictions []Prediction
 	Engine      string // chosen execution engine ("Typer"/"Tectorwise")
 	Threads     int    // worker count Execute will use (>= 1)
+	// Params counts the statement's `?` placeholders; > 0 marks an
+	// unbound template.
+	Params int
 	// Spans is the compile-phase span tree ("compile" with parse,
 	// bind+plan, predict and select children), recorded on every
 	// compilation from the host monotonic clock.
@@ -49,6 +62,16 @@ type Compiled struct {
 
 	data    *tpch.Data
 	machine *hw.Machine
+	// reqEngine is the requested engine option ("", "auto", "typer",
+	// "tectorwise"), kept so Bind re-runs engine selection under the
+	// same policy the template was compiled with.
+	reqEngine string
+	// fastOnce/fastPlan lazily compile and cache the vectorized
+	// profile-free executor; nil for pipeline shapes it does not
+	// specialize (joins), which fast-execute through the engines'
+	// nil-probe worker path instead.
+	fastOnce sync.Once
+	fastPlan *relop.FastPlan
 }
 
 // Answer is one executed query: the comparable result plus the
@@ -107,7 +130,9 @@ func (p Prediction) predictedSeconds() float64 {
 
 // Compile parses text, plans it against the database, predicts all
 // four profiled engines with the calibrated cost models, and picks the
-// execution engine.
+// execution engine. Text with `?` placeholders compiles into an
+// unbound template (see Compiled); Bind substitutes arguments and
+// replans.
 func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, error) {
 	root := obs.NewSpan("compile")
 	sp := root.Child("parse")
@@ -116,7 +141,58 @@ func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, 
 	if err != nil {
 		return nil, err
 	}
-	sp = root.Child("bind+plan")
+	if stmt.Params > 0 {
+		return compileTemplate(d, m, stmt, opt, root)
+	}
+	return finishCompile(d, m, stmt, opt, root)
+}
+
+// compileTemplate validates an unbound parameterized statement: the
+// engine name must resolve and the statement must plan with
+// placeholder values, so PREPARE reports static errors (unknown
+// columns, unsupported shapes) immediately rather than at the first
+// EXECUTE. The probe plan is discarded — Bind replans per argument
+// set, because planning samples data against the bound literals.
+func compileTemplate(d *tpch.Data, m *hw.Machine, stmt *Select, opt Options, root *obs.Span) (*Compiled, error) {
+	if stmt.Explain {
+		return nil, fmt.Errorf("sql: EXPLAIN of a parameterized statement is not supported; explain the bound literal form")
+	}
+	switch strings.ToLower(opt.Engine) {
+	case "", "auto", "typer", "tectorwise":
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want typer, tectorwise or auto)", opt.Engine)
+	}
+	probeArgs := make([]int64, stmt.Params)
+	for i := range probeArgs {
+		probeArgs[i] = 1
+	}
+	sp := root.Child("validate")
+	_, err := BuildPipeline(d, substituteParams(stmt, probeArgs))
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("validating parameterized statement (with placeholder value 1): %w", err)
+	}
+	root.End()
+	if opt.Trace != nil {
+		opt.Trace.Adopt(root)
+	}
+	return &Compiled{
+		Stmt:      stmt,
+		Threads:   parallel.ClampThreads(m, opt.Threads),
+		Params:    stmt.Params,
+		Spans:     root,
+		data:      d,
+		machine:   m,
+		reqEngine: opt.Engine,
+	}, nil
+}
+
+// finishCompile plans a fully-substituted statement: bind+plan,
+// predict, engine selection. Compile (literal text) and Bind
+// (substituted template) both land here, which is what makes a bound
+// execution indistinguishable from a literal one.
+func finishCompile(d *tpch.Data, m *hw.Machine, stmt *Select, opt Options, root *obs.Span) (*Compiled, error) {
+	sp := root.Child("bind+plan")
 	pl, err := BuildPipeline(d, stmt)
 	sp.End()
 	if err != nil {
@@ -126,12 +202,13 @@ func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, 
 	// Explain describe the thread count that will actually run.
 	threads := parallel.ClampThreads(m, opt.Threads)
 	c := &Compiled{
-		Stmt:     stmt,
-		Pipeline: pl,
-		Threads:  threads,
-		Spans:    root,
-		data:     d,
-		machine:  m,
+		Stmt:      stmt,
+		Pipeline:  pl,
+		Threads:   threads,
+		Spans:     root,
+		data:      d,
+		machine:   m,
+		reqEngine: opt.Engine,
 	}
 	sp = root.Child("predict")
 	c.Predictions = Predict(pl, m)
@@ -166,6 +243,103 @@ func Compile(d *tpch.Data, m *hw.Machine, text string, opt Options) (*Compiled, 
 		opt.Trace.Adopt(root)
 	}
 	return c, nil
+}
+
+// Bind substitutes args (one int64 per `?`, in source order; dates
+// bind as TPC-H epoch-day offsets) into a parameterized template and
+// replans, returning a fully-executable Compiled. Binding a statement
+// without parameters returns it unchanged. The template itself is
+// never mutated — any number of binds may share it concurrently.
+func (c *Compiled) Bind(args []int64) (*Compiled, error) {
+	return c.BindTraced(args, nil)
+}
+
+// BindTraced is Bind with the bind-phase span tree (substitute,
+// bind+plan, predict, select) adopted under trace, mirroring
+// Options.Trace on Compile.
+func (c *Compiled) BindTraced(args []int64, trace *obs.Span) (*Compiled, error) {
+	if len(args) != c.Params {
+		return nil, fmt.Errorf("sql: statement wants %d argument(s), got %d", c.Params, len(args))
+	}
+	if c.Params == 0 {
+		return c, nil
+	}
+	root := obs.NewSpan("bind")
+	sp := root.Child("substitute")
+	stmt := substituteParams(c.Stmt, args)
+	sp.End()
+	return finishCompile(c.data, c.machine, stmt, Options{Engine: c.reqEngine, Threads: c.Threads, Trace: trace}, root)
+}
+
+// errUnbound reports an attempt to use a template where an executable
+// statement is required.
+func (c *Compiled) errUnbound() error {
+	if c.Pipeline == nil {
+		return fmt.Errorf("sql: statement has %d unbound parameter(s); Bind arguments first", c.Params)
+	}
+	return nil
+}
+
+// substituteParams deep-copies a statement with every Param replaced
+// by its argument as a NumLit — after which the statement plans like
+// any literal text. Leaves without parameters are shared; the parsed
+// template is never mutated.
+func substituteParams(s *Select, args []int64) *Select {
+	out := *s
+	out.Params = 0
+	out.Items = make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		out.Items[i] = SelectItem{X: substExpr(it.X, args), Alias: it.Alias}
+	}
+	if s.Where != nil {
+		out.Where = substPred(s.Where, args)
+	}
+	if len(s.GroupBy) > 0 {
+		out.GroupBy = make([]Expr, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			out.GroupBy[i] = substExpr(g, args)
+		}
+	}
+	if s.Having != nil {
+		out.Having = substPred(s.Having, args)
+	}
+	if len(s.OrderBy) > 0 {
+		out.OrderBy = make([]OrderItem, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			out.OrderBy[i] = OrderItem{X: substExpr(o.X, args), Desc: o.Desc}
+		}
+	}
+	return &out
+}
+
+func substExpr(x Expr, args []int64) Expr {
+	switch e := x.(type) {
+	case *Param:
+		return &NumLit{P: e.P, V: args[e.Idx]}
+	case *BinExpr:
+		return &BinExpr{P: e.P, Op: e.Op, L: substExpr(e.L, args), R: substExpr(e.R, args)}
+	case *AggCall:
+		if e.Arg == nil {
+			return e
+		}
+		return &AggCall{P: e.P, Fn: e.Fn, Star: e.Star, Arg: substExpr(e.Arg, args)}
+	default:
+		// ColRef, NumLit and DateLit are immutable leaves.
+		return x
+	}
+}
+
+func substPred(pr Pred, args []int64) Pred {
+	switch p := pr.(type) {
+	case *AndPred:
+		return &AndPred{P: p.P, L: substPred(p.L, args), R: substPred(p.R, args)}
+	case *CmpPred:
+		return &CmpPred{P: p.P, Op: p.Op, L: substExpr(p.L, args), R: substExpr(p.R, args)}
+	case *BetweenPred:
+		return &BetweenPred{P: p.P, X: substExpr(p.X, args), Lo: substExpr(p.Lo, args), Hi: substExpr(p.Hi, args)}
+	default:
+		return pr
+	}
 }
 
 // prediction returns the prediction for a system name.
@@ -206,11 +380,91 @@ func (c *Compiled) executor(as *probe.AddrSpace) (pipelineEngine, error) {
 // its workers end to end; internal/server drives its shared worker
 // pool through this hook instead, scheduling the morsels itself.
 func (c *Compiled) Prepare(p *probe.Probe, as *probe.AddrSpace) (relop.Prepared, error) {
+	if err := c.errUnbound(); err != nil {
+		return nil, err
+	}
 	ex, err := c.executor(as)
 	if err != nil {
 		return nil, err
 	}
 	return ex.PreparePipeline(p, as, c.Pipeline)
+}
+
+// FastPlan returns the statement's cached vectorized fast-mode
+// executor, compiling it on first use. It is nil for pipeline shapes
+// the vectorized executor does not specialize (joins), which
+// fast-execute through the engines' nil-probe worker path instead. The
+// plan is immutable and safe for concurrent Execute calls — the server
+// shares it across sessions through the plan cache, so repeated
+// EXECUTEs of one prepared statement skip both planning and engine
+// construction entirely.
+func (c *Compiled) FastPlan() *relop.FastPlan {
+	if c.Pipeline == nil {
+		return nil
+	}
+	c.fastOnce.Do(func() {
+		as := probe.NewAddrSpace()
+		i64, i8, _ := relop.BindCatalog(as, "fast.", c.data)
+		b, err := relop.Resolve(c.Pipeline, i64, i8)
+		if err != nil {
+			return
+		}
+		c.fastPlan = relop.CompileFast(c.Pipeline, b)
+	})
+	return c.fastPlan
+}
+
+// ExecuteFast runs the pipeline in profile-free fast mode: no
+// cache-hierarchy simulation, no branch predictor, no section
+// accounting — only the answer. Join-free pipelines run the compiled
+// vectorized FastPlan; everything else runs the real engines with nil
+// probes. Either way the Result is bit-identical to a measured run at
+// any thread count; there is no profile to report. threads <= 1 runs
+// one worker.
+func (c *Compiled) ExecuteFast(threads int) (engine.Result, error) {
+	if err := c.errUnbound(); err != nil {
+		return engine.Result{}, err
+	}
+	threads = parallel.ClampThreads(c.machine, threads)
+	if fp := c.FastPlan(); fp != nil {
+		r, _ := fp.Execute(threads)
+		return r, nil
+	}
+	return c.executeFastEngine(threads)
+}
+
+// executeFastEngine is fast mode for pipeline shapes the vectorized
+// executor does not cover: the same engines, morsel partition and
+// finalize as a measured run, but with nil probes throughout.
+func (c *Compiled) executeFastEngine(threads int) (engine.Result, error) {
+	as := probe.NewAddrSpace()
+	ex, err := c.executor(as)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	prep, err := ex.PreparePipeline(nil, as, c.Pipeline)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	morsels := parallel.Morsels(prep.Rows(), 0, prep.MorselAlign(), threads)
+	workers := parallel.NewFastWorkers(as, prep, morsels, threads, "fast.worker")
+	threads = len(workers)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int, w relop.Worker) {
+			defer wg.Done()
+			for i := t; i < len(morsels); i += threads {
+				w.RunMorsel(morsels[i].Start, morsels[i].End)
+			}
+		}(t, workers[t])
+	}
+	wg.Wait()
+	partials := make([]*relop.Partial, threads)
+	for t, w := range workers {
+		partials[t] = w.Partial()
+	}
+	return relop.FinalizeProbed(nil, c.Pipeline, partials), nil
 }
 
 // Execute runs the pipeline on the chosen engine at the compilation's
@@ -224,6 +478,9 @@ func (c *Compiled) Execute() (*Answer, error) {
 // (independent of the compilation's Threads, so callers can sweep):
 // 1 runs the serial executor, more the morsel-driven parallel one.
 func (c *Compiled) ExecuteThreads(threads int) (*Answer, error) {
+	if err := c.errUnbound(); err != nil {
+		return nil, err
+	}
 	if threads > 1 {
 		return c.executeParallel(threads)
 	}
@@ -281,6 +538,9 @@ func (c *Compiled) executeParallel(threads int) (*Answer, error) {
 // per-thread time, socket bandwidth and speedup at the configured
 // worker count.
 func (c *Compiled) Explain() string {
+	if c.Pipeline == nil {
+		return fmt.Sprintf("unbound template (%d parameters); bind arguments to plan\n", c.Params)
+	}
 	var b strings.Builder
 	b.WriteString("plan:\n")
 	for _, line := range strings.Split(strings.TrimRight(c.Pipeline.String(), "\n"), "\n") {

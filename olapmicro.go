@@ -269,11 +269,15 @@ type ServerStats struct {
 	// Submission outcomes: accepted, finished, errored, canceled, and
 	// refused-at-admission counts.
 	Submitted, Completed, Failed, Canceled, Rejected uint64
+	// FastCompleted counts profile-free fast-mode completions (a
+	// subset of Completed).
+	FastCompleted uint64
 	// Instantaneous occupancy: executing and waiting queries.
 	InFlight, Queued int
-	// Plan-cache counters and occupancy.
-	PlanHits, PlanMisses, PlanEvictions uint64
-	PlanEntries, PlanCapacity           int
+	// Plan-cache counters and occupancy. PlanDedups counts misses that
+	// joined an in-flight compilation instead of compiling themselves.
+	PlanHits, PlanMisses, PlanEvictions, PlanDedups uint64
+	PlanEntries, PlanCapacity                       int
 	// Pool shape: slot count and per-query parallelism.
 	Workers, QueryThreads int
 }
