@@ -18,6 +18,9 @@
 //	fast on|off     toggle profile-free fast mode for this session's
 //	                later submissions (bit-identical results, no
 //	                simulated profile; result lines carry fast=true)
+//	timeout <ms>    bound this session's later submissions to a
+//	                millisecond deadline (0 = none, "default" restores
+//	                the server default)
 //	cancel <id>     cancel a pending submission
 //	stats           print the service counters (plan-cache hit rate,
 //	                in-flight/queued/rejected, pool shape)
@@ -33,6 +36,11 @@
 // (the same Prometheus exposition) and the standard /debug/pprof
 // handlers.
 //
+// SIGTERM and SIGINT shut the server down gracefully: admission stops,
+// in-flight queries get up to -drain to finish (then are canceled at
+// their next morsel boundary), and the final counters and metrics are
+// flushed to stderr before exit.
+//
 // Usage:
 //
 //	olapserve -quick
@@ -42,12 +50,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"olapmicro/internal/harness"
@@ -65,6 +77,8 @@ func main() {
 		engine   = flag.String("engine", "auto", "default execution engine: auto, typer or tectorwise")
 		listen   = flag.String("listen", "", "serve TCP on this address instead of stdin (e.g. 127.0.0.1:7433)")
 		metrics  = flag.String("metrics", "", "serve HTTP /metrics and /debug/pprof on this address (e.g. 127.0.0.1:7434)")
+		drain    = flag.Duration("drain", 10*time.Second, "on SIGTERM/SIGINT, how long in-flight queries may finish before being canceled")
+		qtimeout = flag.Duration("query-timeout", 0, "default per-query deadline (0 = none; sessions override with the timeout verb)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -88,6 +102,7 @@ func main() {
 		Workers: *workers, QueryThreads: *qthreads,
 		MaxInFlight: *inflight, MaxQueue: *queue,
 		PlanCache: *cache, Engine: *engine,
+		DefaultTimeout: *qtimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -118,10 +133,41 @@ func main() {
 		}()
 	}
 
+	// SIGTERM/SIGINT trigger the bounded drain: stop admitting, let
+	// in-flight queries finish within -drain (cancel the stragglers at
+	// their next morsel boundary), then flush the final counters and
+	// metrics to stderr so the last scrape interval is never lost.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdown := func() {
+		fmt.Fprintf(os.Stderr, "shutdown: draining in-flight queries (up to %v)...\n", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: drain deadline reached, canceled remaining queries\n")
+		} else {
+			fmt.Fprintf(os.Stderr, "shutdown: drained cleanly\n")
+		}
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "shutdown: final stats submitted=%d completed=%d failed=%d canceled=%d rejected=%d inflight=%d queued=%d panics=%d deadlines=%d breaker-opens=%d\n",
+			st.Submitted, st.Completed, st.Failed, st.Canceled, st.Rejected,
+			st.InFlight, st.Queued, st.PanicsRecovered, st.DeadlineExceeded, st.BreakerOpens)
+		fmt.Fprintf(os.Stderr, "shutdown: final metrics\n")
+		_ = srv.WriteMetrics(os.Stderr)
+	}
+
 	if *listen == "" {
-		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "error: reading input: %v\n", err)
-			os.Exit(1)
+		done := make(chan error, 1)
+		go func() { done <- srv.ServeSession(os.Stdin, os.Stdout) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: reading input: %v\n", err)
+				os.Exit(1)
+			}
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "received %v\n", s)
+			shutdown()
 		}
 		return
 	}
@@ -132,9 +178,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	var closing atomic.Bool
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "received %v\n", s)
+		closing.Store(true)
+		ln.Close() // unblocks Accept; the loop runs the drain
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if closing.Load() {
+				shutdown()
+				return
+			}
 			fmt.Fprintf(os.Stderr, "error: accept: %v\n", err)
 			os.Exit(1)
 		}

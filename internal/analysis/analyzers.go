@@ -6,13 +6,14 @@
 // fields mix atomic and mutex-guarded access — these analyzers can,
 // so refactors fail `make lint` instead of flaking a difftest.
 //
-// Five analyzers (see README "Static analysis"):
+// Six analyzers (see README "Static analysis"):
 //
-//	detrange    — unordered map iteration in result-producing paths
-//	wallclock   — host clocks / unseeded rand inside simulated paths
-//	sectionpair — probe.BeginSection left open on a control-flow path
-//	atomicfield — torn atomic/plain access mixes, mutex contracts
-//	hotalloc    — allocation patterns inside RunMorsel hot loops
+//	detrange     — unordered map iteration in result-producing paths
+//	wallclock    — host clocks / unseeded rand inside simulated paths
+//	sectionpair  — probe.BeginSection left open on a control-flow path
+//	atomicfield  — torn atomic/plain access mixes, mutex contracts
+//	hotalloc     — allocation patterns inside RunMorsel hot loops
+//	recoverguard — server goroutines without a panic-recovery barrier
 //
 // Suppressions use the //olap:allow annotation (lintkit): an allow
 // that suppresses nothing is itself an error, so annotations stay
@@ -44,6 +45,14 @@ var deterministicScope = append([]string{
 	"olapmicro/internal/obs",
 }, simulatedScope...)
 
+// serverScope is the concurrent serving path alone: the panic-
+// isolation contract (a query-scoped fault never kills the process)
+// binds goroutines the server launches, not the library simulators,
+// whose callers own their goroutines.
+var serverScope = []string{
+	"olapmicro/internal/server",
+}
+
 // All returns the complete olaplint suite in reporting order.
 func All() []*lintkit.Analyzer {
 	return []*lintkit.Analyzer{
@@ -52,5 +61,6 @@ func All() []*lintkit.Analyzer {
 		Sectionpair,
 		Atomicfield,
 		Hotalloc,
+		Recoverguard,
 	}
 }

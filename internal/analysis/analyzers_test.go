@@ -32,6 +32,10 @@ func TestHotalloc(t *testing.T) {
 	lintkit.RunTest(t, "testdata/src/hotalloc/a", analysis.Hotalloc)
 }
 
+func TestRecoverguard(t *testing.T) {
+	lintkit.RunTest(t, "testdata/src/recoverguard/a", analysis.Recoverguard)
+}
+
 // TestAllNamesUnique guards the //olap:allow grammar: analyzer names
 // are the annotation keys, so they must be distinct and lowercase.
 func TestAllNamesUnique(t *testing.T) {

@@ -1,0 +1,90 @@
+// Package a is the recoverguard golden fixture: goroutines without a
+// recover barrier in their frame are flagged; inline deferred
+// recovers, delegation to a recovering function, and annotated
+// launches are accepted; nested goroutines are separate frames.
+package a
+
+import "sync"
+
+// Bare launches a goroutine with no barrier at all: flagged.
+func Bare(work func()) {
+	go work() // want `goroutine has no recover barrier in its frame`
+}
+
+// BareLit is the same with a literal: flagged.
+func BareLit() {
+	go func() { // want `goroutine has no recover barrier in its frame`
+		doWork()
+	}()
+}
+
+// Inline carries its own deferred recover: accepted.
+func Inline() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		doWork()
+	}()
+}
+
+// BareRecover calls recover outside any defer, which returns nil and
+// guards nothing: flagged.
+func BareRecover() {
+	go func() { // want `goroutine has no recover barrier in its frame`
+		_ = recover()
+		doWork()
+	}()
+}
+
+// Delegated hands the frame to a function with its own barrier:
+// accepted, both as the direct entry point and as a call in a literal.
+func Delegated() {
+	go guardedLoop()
+	go func() {
+		defer noopCleanup()
+		guardedLoop()
+	}()
+}
+
+// guardedLoop recovers in its own frame.
+func guardedLoop() {
+	defer func() { _ = recover() }()
+	doWork()
+}
+
+// Nested goroutines are separate frames: the inner barrier does not
+// guard the outer launch.
+func Nested() {
+	go func() { // want `goroutine has no recover barrier in its frame`
+		go func() {
+			defer func() { _ = recover() }()
+			doWork()
+		}()
+		doWork()
+	}()
+}
+
+// WaitNotify is the sanctioned unguarded shape — a frame that only
+// waits and signals, with nothing in it that can panic — and carries
+// the load-bearing annotation.
+func WaitNotify(wg *sync.WaitGroup, done chan struct{}) {
+	go func() { //olap:allow recoverguard frame only waits and closes a channel; nothing can panic
+		wg.Wait()
+		close(done)
+	}()
+}
+
+// StaleAndUnknown holds one allow that suppresses nothing and one
+// naming an analyzer that does not exist.
+func StaleAndUnknown() {
+	//olap:allow recoverguard suppresses nothing // want `stale //olap:allow recoverguard`
+	doWork()
+	//olap:allow nosuchcheck misspelled // want `//olap:allow names unknown analyzer "nosuchcheck"`
+}
+
+func doWork() {}
+
+func noopCleanup() {}

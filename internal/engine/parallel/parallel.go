@@ -183,17 +183,32 @@ func Run(m *hw.Machine, as *probe.AddrSpace, ex Executor, pl *relop.Pipeline, op
 	// anyway, and the fixed assignment keeps every worker's profile
 	// reproducible regardless of how the host schedules the
 	// goroutines.
+	// A worker panic must surface on the caller's goroutine, not kill
+	// the process from an unrecoverable worker frame: capture the first
+	// one and re-panic after the fleet drains, where the caller's own
+	// recover (the server's execute barrier, a test harness) can
+	// convert it.
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(t int, w relop.Worker) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
 			for i := t; i < len(morsels); i += threads {
 				w.RunMorsel(morsels[i].Start, morsels[i].End)
 			}
 		}(t, workers[t])
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 
 	partials := make([]*relop.Partial, threads)
 	for t, w := range workers {

@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The fire decision is a pure function of (seed, point, key): two
+// injectors with identical configuration agree on every key, and a
+// different seed produces a different (but equally deterministic)
+// fault set.
+func TestDeterministicDecisions(t *testing.T) {
+	a, b := New(42), New(42)
+	for _, in := range []*Injector{a, b} {
+		in.Enable(WorkerPanic, 4, 0)
+		in.Enable(CompileError, 3, 1)
+	}
+	other := New(43)
+	other.Enable(WorkerPanic, 4, 0)
+	diverged := false
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("select %d from t", i)
+		if a.ShouldFire(WorkerPanic, key) != b.ShouldFire(WorkerPanic, key) {
+			t.Fatalf("same-seed injectors disagree on %q", key)
+		}
+		if a.ShouldFire(CompileError, key) != b.ShouldFire(CompileError, key) {
+			t.Fatalf("same-seed injectors disagree on %q (compile)", key)
+		}
+		if a.ShouldFire(WorkerPanic, key) != other.ShouldFire(WorkerPanic, key) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seed 42 and 43 produced identical fault sets over 256 keys")
+	}
+}
+
+// A mod-n rule fires roughly 1/n of keys — enough spread that a chaos
+// schedule faults a meaningful but minority slice of the corpus.
+func TestFireRate(t *testing.T) {
+	in := New(7)
+	in.Enable(SlowMorsel, 4, 2)
+	fired := 0
+	const n = 1024
+	for i := 0; i < n; i++ {
+		if in.ShouldFire(SlowMorsel, fmt.Sprintf("q%d", i)) {
+			fired++
+		}
+	}
+	if fired < n/8 || fired > n/2 {
+		t.Errorf("mod-4 rule fired %d/%d keys, want roughly a quarter", fired, n)
+	}
+}
+
+// Fire fires at most once per (point, key) — a faulted query panics
+// once, not once per morsel — and is safe under concurrent callers.
+func TestFireOncePerKey(t *testing.T) {
+	in := New(1)
+	in.Enable(WorkerPanic, 1, 0) // every key
+	var wg sync.WaitGroup
+	var fired [16]int
+	for g := range fired {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				if in.Fire(WorkerPanic, fmt.Sprintf("key%d", i%8)) {
+					fired[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fired {
+		total += f
+	}
+	if total != 8 {
+		t.Errorf("8 distinct keys fired %d times total, want exactly 8", total)
+	}
+	if got := in.Count(WorkerPanic); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	if !in.Fired(WorkerPanic, "key0") {
+		t.Error("Fired must report a key that fired")
+	}
+	if in.Fired(WorkerPanic, "neverseen") {
+		t.Error("Fired must not report a key that never fired")
+	}
+}
+
+// Disabled points (and the zero injector) never fire.
+func TestDisabledNeverFires(t *testing.T) {
+	in := New(99)
+	in.Enable(CompileError, 1, 0)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if in.ShouldFire(WorkerPanic, key) || in.Fire(SlowMorsel, key) {
+			t.Fatalf("disabled point fired on %q", key)
+		}
+	}
+	var zero Injector
+	if zero.ShouldFire(CompileError, "x") {
+		t.Error("zero injector fired")
+	}
+}
+
+// ErrInjected is identifiable and names its point.
+func TestErrInjected(t *testing.T) {
+	err := error(&ErrInjected{Point: CompileError, Key: "select 1"})
+	var inj *ErrInjected
+	if !errors.As(err, &inj) || inj.Point != CompileError {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+	if got := err.Error(); got != "faults: injected compile-error" {
+		t.Errorf("Error() = %q", got)
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		if s := p.String(); s == "" || s == fmt.Sprintf("point(%d)", uint8(p)) {
+			t.Errorf("point %d has no name", p)
+		}
+	}
+}

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"olapmicro/internal/faults"
 )
 
 // TestStatsConsistentUnderLoad is the regression test for the torn
@@ -203,6 +206,58 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	if got := metricValue(t, text, "olap_in_flight"); got != 0 {
 		t.Errorf("drained server reports in_flight = %g", got)
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestResilienceMetricsExposition drives each resilience path once —
+// an injected worker panic, an expired deadline, a tripped compile
+// breaker and an overload rejection — and scrapes the registry: the
+// four resilience counters must appear in the exposition with the
+// driven values, formatted like every other line.
+func TestResilienceMetricsExposition(t *testing.T) {
+	inj := faults.New(11)
+	inj.Enable(faults.WorkerPanic, 1, 0)
+	s := newTestServer(t, Config{Workers: 1, MaxInFlight: 1, MaxQueue: 1, Faults: inj})
+	ctx := context.Background()
+
+	if _, err := s.Submit(ctx, testQueries[0]); err == nil {
+		t.Fatal("injected panic must fail the query")
+	}
+	if _, err := s.Submit(ctx, testQueries[1], WithTimeout(time.Nanosecond)); err == nil {
+		t.Fatal("nanosecond deadline must expire")
+	}
+	for i := 0; i < breakerThreshold; i++ {
+		if _, err := s.Submit(ctx, "select broken from nowhere"); err == nil {
+			t.Fatal("poison statement must fail to compile")
+		}
+	}
+	s.sem <- struct{}{}
+	s.queue <- struct{}{}
+	if _, err := s.QueryAsync(ctx, testQueries[2]); err == nil {
+		t.Fatal("full budgets must reject")
+	}
+	<-s.sem
+	<-s.queue
+
+	var b strings.Builder
+	if err := s.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for name, want := range map[string]float64{
+		"olap_panic_recovered_total":   1,
+		"olap_deadline_exceeded_total": 1,
+		"olap_breaker_open_total":      1,
+		"olap_retry_after_hints_total": 1,
+	} {
+		if got := metricValue(t, text, name); got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
 	}
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		if !expositionLine.MatchString(line) {

@@ -146,6 +146,21 @@ func (pc *planCache) getOrCompile(key string, count bool, compile func() (*sql.C
 	return f.c, false, f.err
 }
 
+// purge evicts every entry (each counted as an eviction). In-flight
+// compilations are untouched — their owners still publish on
+// completion. Production never calls this; it is the eviction-storm
+// fault's lever for forcing the worst-case recompile pattern.
+func (pc *planCache) purge() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for pc.ll.Len() > 0 {
+		tail := pc.ll.Back()
+		pc.ll.Remove(tail)
+		delete(pc.byKey, tail.Value.(*planEntry).key)
+		pc.evictions++
+	}
+}
+
 // len reports the current entry count.
 func (pc *planCache) len() int {
 	pc.mu.Lock()

@@ -8,6 +8,7 @@ import (
 
 	"olapmicro/internal/engine/parallel"
 	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/faults"
 )
 
 // pool is the shared morsel worker pool every in-flight query's scan
@@ -21,6 +22,11 @@ import (
 // turn, which is the per-query fairness guarantee: a slot shared by R
 // queries advances each of them at 1/R of its rate, it never drains
 // one query before starting the next.
+//
+// Slots isolate panics: a panic inside one morsel's execution is
+// recovered, recorded on that morsel's task (failing only that
+// query), and the slot keeps scheduling every other query's shares —
+// a query-scoped fault never kills the pool, let alone the process.
 type pool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -30,6 +36,10 @@ type pool struct {
 	place  int        // next slot for an arriving task's first share
 	closed bool
 	wg     sync.WaitGroup
+
+	// faults optionally arms the slow-morsel and worker-panic
+	// injection points (nil in production).
+	faults *faults.Injector
 
 	// busy counts slots currently executing a morsel — the
 	// slot-utilization gauge the telemetry layer exports.
@@ -42,10 +52,11 @@ func (p *pool) busySlots() int64 { return p.busy.Load() }
 // poolTask is one query's scan phase: its morsels, its per-thread
 // workers, and the completion signal.
 type poolTask struct {
-	ctx     context.Context
-	morsels []parallel.Morsel
-	threads int // stride; == len(workers)
-	workers []relop.Worker
+	ctx      context.Context
+	faultKey string // statement identity for deterministic fault injection
+	morsels  []parallel.Morsel
+	threads  int // stride; == len(workers)
+	workers  []relop.Worker
 
 	// busyNs and ran aggregate each worker's morsel runtimes and
 	// morsel count (indexed like workers). A share is pinned to one
@@ -54,9 +65,16 @@ type poolTask struct {
 	busyNs []int64
 	ran    []int
 
-	remaining int // shares not yet drained (guarded by pool.mu)
-	done      chan struct{}
+	remaining int  // shares not yet drained (guarded by pool.mu)
+	aborted   bool // a morsel panicked: skip the rest (guarded by pool.mu)
+	panicErr  *PanicError
+
+	done chan struct{}
 }
+
+// panicked reports the task's recovered morsel panic, if any. Only
+// valid after done closed (which orders the write).
+func (t *poolTask) panicked() *PanicError { return t.panicErr }
 
 // share is one (task, worker) pair assigned to one slot.
 type share struct {
@@ -85,10 +103,18 @@ func newPool(n int) *pool {
 
 // enqueue registers a task's shares on consecutive slots (rotating
 // the starting slot across tasks so load spreads) and returns
-// immediately; t.done closes when every share has drained.
+// immediately; t.done closes when every share has drained. Enqueueing
+// on a closed pool completes the task immediately without running
+// anything — the server stops admitting before it closes the pool, so
+// this is a belt-and-braces guard against a waiter hanging forever on
+// a task whose shares no slot will ever service.
 func (p *pool) enqueue(t *poolTask) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		close(t.done)
+		return
+	}
 	t.remaining = len(t.workers)
 	base := p.place
 	p.place = (p.place + len(t.workers)) % p.n
@@ -99,18 +125,34 @@ func (p *pool) enqueue(t *poolTask) {
 	p.cond.Broadcast()
 }
 
-// worker is one slot's scheduling loop: pick the next share
-// round-robin, run one morsel of it (or drain it without running if
-// its query was canceled), retire drained shares, sleep when the slot
-// has none.
+// worker keeps one slot alive for the pool's lifetime: the scheduling
+// loop runs in runSlot, and if a slot-level panic ever escapes the
+// per-morsel recovery (a scheduler bug, not a query fault), the slot
+// re-enters the loop rather than silently shrinking the pool.
 func (p *pool) worker(s int) {
 	defer p.wg.Done()
+	for p.runSlot(s) {
+	}
+}
+
+// runSlot is one slot's scheduling loop: pick the next share
+// round-robin, run one morsel of it (or drain it without running if
+// its query was canceled or panicked), retire drained shares, sleep
+// when the slot has none. It returns false when the pool closed, true
+// if it exited by recovering an unexpected scheduler panic and should
+// be re-entered.
+func (p *pool) runSlot(s int) (again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			again = true
+		}
+	}()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		if len(p.slots[s]) == 0 {
 			if p.closed {
-				return
+				return false
 			}
 			p.cond.Wait()
 			continue
@@ -120,12 +162,13 @@ func (p *pool) worker(s int) {
 		}
 		sh := p.slots[s][p.rr[s]]
 		run := -1
-		if sh.t.ctx.Err() == nil && sh.next < len(sh.t.morsels) {
+		if sh.t.ctx.Err() == nil && !sh.t.aborted && sh.next < len(sh.t.morsels) {
 			run = sh.next
 			sh.next += sh.t.threads
 		} else {
-			// Canceled: skip the remaining morsels so the share (and
-			// with it the query) retires at the slot's next visit.
+			// Canceled or panicked: skip the remaining morsels so the
+			// share (and with it the query) retires at the slot's next
+			// visit.
 			sh.next = len(sh.t.morsels)
 		}
 		last := sh.next >= len(sh.t.morsels)
@@ -139,10 +182,18 @@ func (p *pool) worker(s int) {
 			p.mu.Unlock()
 			p.busy.Add(1)
 			t0 := time.Now() //olap:allow wallclock real busy-time telemetry, not simulated cost
-			sh.w.RunMorsel(m.Start, m.End)
+			perr := p.runMorsel(sh, m)
 			dt := time.Since(t0) //olap:allow wallclock real busy-time telemetry, not simulated cost
 			p.busy.Add(-1)
 			p.mu.Lock()
+			if perr != nil && !sh.t.aborted {
+				// First panic wins; the flag makes every other share of
+				// the task drain without running. The done close (after
+				// the last share retires) orders panicErr before the
+				// submitter's read.
+				sh.t.aborted = true
+				sh.t.panicErr = perr
+			}
 			if sh.t.busyNs != nil {
 				sh.t.busyNs[sh.wi] += int64(dt)
 				sh.t.ran[sh.wi]++
@@ -159,9 +210,39 @@ func (p *pool) worker(s int) {
 	}
 }
 
+// injectedSlowMorselDelay is the stall the slow-morsel fault injects —
+// long enough to reorder the pool's interleaving around it, short
+// enough that a chaos sweep stays fast.
+const injectedSlowMorselDelay = 2 * time.Millisecond
+
+// runMorsel executes one morsel with panic isolation: a panic in the
+// engine kernel (or injected by the worker-panic fault) is recovered
+// and returned as the query's PanicError; the slot — and every other
+// query sharing it — is unaffected. The fault hooks sit here, between
+// scheduling and execution: both fire at most once per query, and
+// with a nil injector the hot path pays two pointer comparisons.
+func (p *pool) runMorsel(sh *share, m parallel.Morsel) (perr *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr = newPanicError("pool-worker", r)
+		}
+	}()
+	if p.faults != nil {
+		if p.faults.Fire(faults.SlowMorsel, sh.t.faultKey) {
+			time.Sleep(injectedSlowMorselDelay)
+		}
+		if p.faults.Fire(faults.WorkerPanic, sh.t.faultKey) {
+			panic(&faults.ErrInjected{Point: faults.WorkerPanic, Key: sh.t.faultKey})
+		}
+	}
+	sh.w.RunMorsel(m.Start, m.End)
+	return nil
+}
+
 // close drains every remaining share and stops the slot goroutines.
 // The server stops admitting queries before calling it, so remaining
-// shares belong to queries already being waited on.
+// shares belong to queries already being waited on. Idempotent and
+// safe to call concurrently.
 func (p *pool) close() {
 	p.mu.Lock()
 	p.closed = true

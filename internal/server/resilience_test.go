@@ -1,0 +1,399 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"olapmicro/internal/faults"
+	"olapmicro/internal/sql"
+)
+
+// A panic injected into the query's pool-scan phase becomes that
+// query's error — stack captured, counter bumped — while the pool,
+// the stats invariant and every later query are untouched.
+func TestPanicIsolationPoolWorker(t *testing.T) {
+	inj := faults.New(1)
+	inj.Enable(faults.WorkerPanic, 1, 0) // every key, once each
+	s := newTestServer(t, Config{Workers: 2, QueryThreads: 2, Faults: inj})
+	q := testQueries[0]
+
+	_, err := s.Submit(context.Background(), q)
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("faulted query: want *PanicError, got %v", err)
+	}
+	if perr.Op != "pool-worker" {
+		t.Errorf("panic op = %q, want pool-worker", perr.Op)
+	}
+	if len(perr.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	var inj2 *faults.ErrInjected
+	if !errors.As(err, &inj2) || inj2.Point != faults.WorkerPanic {
+		t.Errorf("panic value must unwrap to the injected fault, got %v", err)
+	}
+	if strings.ContainsAny(perr.Error(), "\r\n") {
+		t.Errorf("PanicError.Error must be one line, got %q", perr.Error())
+	}
+
+	// The fault fired once; the same statement now runs to completion
+	// with the bit-identical serial answer on the same pool.
+	d, m := testDB()
+	_, serial, err := sql.Run(d, m, q, sql.Options{Engine: "typer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Submit(context.Background(), q)
+	if err != nil {
+		t.Fatalf("pool must survive a worker panic: %v", err)
+	}
+	if !resp.Result.Equal(serial.Result) {
+		t.Errorf("post-panic result differs from serial: %+v vs %+v", resp.Result, serial.Result)
+	}
+
+	st := s.Stats()
+	if st.PanicsRecovered == 0 {
+		t.Error("PanicsRecovered = 0 after an injected worker panic")
+	}
+	if st.Failed != 1 || st.Completed != 1 {
+		t.Errorf("outcomes failed=%d completed=%d, want 1 and 1", st.Failed, st.Completed)
+	}
+	checkStatsInvariant(t, st)
+}
+
+// The same fault on the profile-free fast path is recovered by the
+// execute barrier (the fast executor's worker goroutines repropagate
+// onto the submission frame).
+func TestPanicIsolationFastPath(t *testing.T) {
+	inj := faults.New(2)
+	inj.Enable(faults.WorkerPanic, 1, 0)
+	s := newTestServer(t, Config{Workers: 2, Faults: inj})
+	q := testQueries[0]
+
+	_, err := s.Submit(context.Background(), q, WithFast())
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("faulted fast query: want *PanicError, got %v", err)
+	}
+	if perr.Op != "execute" {
+		t.Errorf("panic op = %q, want execute", perr.Op)
+	}
+	if resp, err := s.Submit(context.Background(), q, WithFast()); err != nil || resp.Result.Rows == 0 {
+		t.Fatalf("fast path must survive a panic: %v %v", resp, err)
+	}
+	checkStatsInvariant(t, s.Stats())
+}
+
+// Deadlines: WithTimeout bounds the whole lifecycle, the expiry is
+// counted both as a cancellation and in the deadline counter, and
+// WithTimeout(0) removes a server-wide default.
+func TestQueryDeadlines(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, DefaultTimeout: time.Nanosecond})
+	q := testQueries[0]
+
+	if _, err := s.Submit(context.Background(), q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("default timeout: want DeadlineExceeded, got %v", err)
+	}
+	if resp, err := s.Submit(context.Background(), q, WithTimeout(0)); err != nil || resp.Result.Rows == 0 {
+		t.Fatalf("WithTimeout(0) must lift the server default: %v %v", resp, err)
+	}
+	if resp, err := s.Submit(context.Background(), q, WithTimeout(time.Minute)); err != nil || resp.Result.Rows == 0 {
+		t.Fatalf("generous per-query deadline: %v %v", resp, err)
+	}
+	if _, err := s.Submit(context.Background(), q, WithTimeout(time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("per-query timeout: want DeadlineExceeded, got %v", err)
+	}
+
+	st := s.Stats()
+	if st.DeadlineExceeded != 2 {
+		t.Errorf("DeadlineExceeded = %d, want 2", st.DeadlineExceeded)
+	}
+	if st.Canceled != 2 || st.Completed != 2 {
+		t.Errorf("outcomes canceled=%d completed=%d, want 2 and 2", st.Canceled, st.Completed)
+	}
+	checkStatsInvariant(t, st)
+}
+
+// Overload rejections carry a computed retry-after hint and still
+// satisfy errors.Is(err, ErrOverloaded) for existing callers.
+func TestOverloadRetryAfter(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxInFlight: 1, MaxQueue: 1})
+	s.sem <- struct{}{}
+	s.queue <- struct{}{}
+	_, err := s.QueryAsync(context.Background(), "select count(*) from nation")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var oerr *OverloadError
+	if !errors.As(err, &oerr) {
+		t.Fatalf("want *OverloadError, got %T", err)
+	}
+	if oerr.RetryAfter < retryAfterMin || oerr.RetryAfter > retryAfterMax {
+		t.Errorf("RetryAfter = %v outside [%v, %v]", oerr.RetryAfter, retryAfterMin, retryAfterMax)
+	}
+	if !strings.Contains(oerr.Error(), "retry-after=") {
+		t.Errorf("overload error must print the hint, got %q", oerr.Error())
+	}
+	if got := s.Telemetry().RetryHints.Value(); got != 1 {
+		t.Errorf("olap_retry_after_hints_total = %d, want 1", got)
+	}
+	<-s.sem
+	<-s.queue
+}
+
+// retryAfter scales with the backlog and the observed p95 latency,
+// clamped to actionable bounds.
+func TestRetryAfterComputation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxInFlight: 4})
+	if got := s.retryAfter(0); got != retryAfterDefault {
+		t.Errorf("no latency data: retryAfter(0) = %v, want the %v default", got, retryAfterDefault)
+	}
+	for i := 0; i < 100; i++ {
+		s.tel.WallMs.Observe(20) // p95 ≈ 20ms
+	}
+	shallow, deep := s.retryAfter(0), s.retryAfter(40)
+	if shallow >= deep {
+		t.Errorf("hint must grow with queue depth: %v !< %v", shallow, deep)
+	}
+	if got := s.retryAfter(1 << 30); got != retryAfterMax {
+		t.Errorf("absurd backlog must clamp to %v, got %v", retryAfterMax, got)
+	}
+}
+
+// Repeated compile failures on one template trip its circuit breaker:
+// later submissions are rejected without compiling until the cooldown
+// elapses, then a half-open probe retries for real.
+func TestCompileCircuitBreaker(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	poison := "select no_such_column from lineitem"
+	for i := 0; i < breakerThreshold; i++ {
+		if _, err := s.Submit(context.Background(), poison); err == nil || errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("failure %d must be a genuine compile error, got %v", i, err)
+		}
+	}
+	for i := 0; i < breakerCooldown; i++ {
+		err := func() error { _, err := s.Submit(context.Background(), poison); return err }()
+		if !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("open-breaker submission %d: want ErrBreakerOpen, got %v", i, err)
+		}
+	}
+	// Cooldown spent: the next submission is the half-open probe — a
+	// real compile attempt, which fails again and re-trips.
+	if _, err := s.Submit(context.Background(), poison); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open probe must recompile, got %v", err)
+	}
+	st := s.Stats()
+	if st.BreakerOpens == 0 {
+		t.Error("BreakerOpens = 0 after a tripped template")
+	}
+	// Healthy templates are unaffected throughout.
+	if resp, err := s.Submit(context.Background(), testQueries[0]); err != nil || resp.Result.Rows == 0 {
+		t.Fatalf("healthy template while another is tripped: %v %v", resp, err)
+	}
+	checkStatsInvariant(t, st)
+}
+
+// A compile success closes the template's breaker state: failures must
+// be consecutive to trip.
+func TestBreakerResetsOnSuccess(t *testing.T) {
+	b := newBreaker()
+	tmpl := "select ? from t"
+	for round := 0; round < 4; round++ {
+		for i := 0; i < breakerThreshold-1; i++ {
+			if b.onCompile(tmpl, errors.New("boom")) {
+				t.Fatalf("round %d: tripped below threshold", round)
+			}
+		}
+		b.onCompile(tmpl, nil)
+		if err := b.admit(tmpl); err != nil {
+			t.Fatalf("round %d: breaker open after a success: %v", round, err)
+		}
+	}
+	if got := b.openCount(); got != 0 {
+		t.Errorf("openCount = %d, want 0", got)
+	}
+}
+
+// Shutdown with an expired context cancels the stragglers but still
+// drains them before stopping the pool; the server is cleanly closed
+// afterwards.
+func TestShutdownBoundedDrain(t *testing.T) {
+	d, m := testDB()
+	s, err := New(Config{Data: d, Machine: m, Workers: 2, MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []*Ticket
+	for i := 0; i < 6; i++ {
+		tk, err := s.QueryAsync(context.Background(), testQueries[i%len(testQueries)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: every pending query is told to stop now
+	_ = s.Shutdown(ctx)
+
+	for _, tk := range tickets {
+		select {
+		case <-tk.Done():
+		default:
+			t.Fatal("Shutdown returned with a pending ticket unresolved")
+		}
+	}
+	st := s.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("post-shutdown occupancy inflight=%d queued=%d, want 0/0", st.InFlight, st.Queued)
+	}
+	if st.PoolBusy != 0 {
+		t.Errorf("post-shutdown PoolBusy = %d, want 0", st.PoolBusy)
+	}
+	checkStatsInvariant(t, st)
+	if _, err := s.QueryAsync(context.Background(), testQueries[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown submission: want ErrClosed, got %v", err)
+	}
+}
+
+// A generous Shutdown lets everything finish and returns nil; calling
+// it again (or Close) is a harmless no-op that still waits.
+func TestShutdownCleanDrainIdempotent(t *testing.T) {
+	d, m := testDB()
+	s, err := New(Config{Data: d, Machine: m, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.QueryAsync(context.Background(), testQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("unhurried Shutdown: %v", err)
+	}
+	if resp, err := tk.Wait(context.Background()); err != nil || resp.Result.Rows == 0 {
+		t.Fatalf("query admitted before Shutdown must finish: %v %v", resp, err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.Close() }()
+	}
+	wg.Wait()
+	checkStatsInvariant(t, s.Stats())
+}
+
+// Regression: Close racing an in-flight EXPLAIN ANALYZE (whose
+// analysis phase runs serially off-pool on the submission goroutine)
+// must wait for it, never hang, and never enqueue scan work on a
+// closed pool.
+func TestCloseDuringExplainAnalyze(t *testing.T) {
+	d, m := testDB()
+	for round := 0; round < 3; round++ {
+		s, err := New(Config{Data: d, Machine: m, Workers: 2, MaxInFlight: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := s.QueryAsync(context.Background(), "explain analyze "+testQueries[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := make(chan struct{})
+		go func() {
+			defer func() { _ = recover() }()
+			s.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatal("Close hung against an in-flight EXPLAIN ANALYZE")
+		}
+		if resp, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("round %d: analyze under Close: %v", round, err)
+		} else if resp.Explain == "" {
+			t.Fatalf("round %d: analyze finished without a report", round)
+		}
+		checkStatsInvariant(t, s.Stats())
+	}
+}
+
+// Enqueueing on a closed pool completes the task immediately instead
+// of leaving its waiter blocked forever (the belt-and-braces guard
+// behind the Close race above).
+func TestPoolEnqueueAfterClose(t *testing.T) {
+	p := newPool(1)
+	p.close()
+	task := &poolTask{ctx: context.Background(), done: make(chan struct{})}
+	p.enqueue(task)
+	select {
+	case <-task.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("enqueue on a closed pool never completed the task")
+	}
+	if task.panicked() != nil {
+		t.Errorf("drained-without-running task reports a panic: %v", task.panicked())
+	}
+}
+
+// A slot survives a morsel panic and keeps serving other queries'
+// shares: one faulted query among concurrent healthy ones fails alone.
+func TestPoolSlotSurvivesConcurrentPanic(t *testing.T) {
+	inj := faults.New(3)
+	// Fault roughly a quarter of the statements; the healthy ones must
+	// come back bit-identical.
+	inj.Enable(faults.WorkerPanic, 4, uint64(0))
+	d, m := testDB()
+	s := newTestServer(t, Config{Workers: 2, QueryThreads: 2, MaxInFlight: 8, Faults: inj})
+
+	serial := make(map[string]*sql.Answer, len(testQueries))
+	for _, q := range testQueries {
+		_, r, err := sql.Run(d, m, q, sql.Options{Engine: "typer"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[q] = r
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(testQueries))
+	for round := 0; round < 4; round++ {
+		for _, q := range testQueries {
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				resp, err := s.Submit(context.Background(), q)
+				faulted := inj.ShouldFire(faults.WorkerPanic, q)
+				switch {
+				case err != nil:
+					var perr *PanicError
+					if !faulted || !errors.As(err, &perr) {
+						errs <- err
+					}
+				case !resp.Result.Equal(serial[q].Result):
+					errs <- fmt.Errorf("%s: server %v != serial %v", q, resp.Result, serial[q].Result)
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	checkStatsInvariant(t, s.Stats())
+}
+
+// checkStatsInvariant asserts the one-lock outcome accounting:
+// Submitted == Completed + Failed + Canceled + InFlight + Queued in
+// every snapshot.
+func checkStatsInvariant(t *testing.T, st Stats) {
+	t.Helper()
+	if st.Submitted != st.Completed+st.Failed+st.Canceled+uint64(st.InFlight)+uint64(st.Queued) {
+		t.Errorf("stats invariant violated: submitted=%d completed=%d failed=%d canceled=%d inflight=%d queued=%d",
+			st.Submitted, st.Completed, st.Failed, st.Canceled, st.InFlight, st.Queued)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"olapmicro/internal/engine"
 	"olapmicro/internal/engine/parallel"
 	"olapmicro/internal/engine/relop"
+	"olapmicro/internal/faults"
 	"olapmicro/internal/hw"
 	"olapmicro/internal/mem"
 	"olapmicro/internal/obs"
@@ -70,6 +71,17 @@ type Config struct {
 	// Engine is the default execution engine: "auto" (the default),
 	// "typer" or "tectorwise". A submission may override it per query.
 	Engine string
+	// DefaultTimeout bounds every submission's whole lifecycle (queue
+	// wait included); a query past its deadline stops at the next
+	// morsel boundary and reports context.DeadlineExceeded. Zero means
+	// no server-side deadline. A submission may override it per query
+	// (WithTimeout, the protocol's timeout verb).
+	DefaultTimeout time.Duration
+	// Faults optionally arms deterministic fault injection at the
+	// serving path's named injection points (see internal/faults). Nil
+	// — the production configuration — costs each site one pointer
+	// comparison.
+	Faults *faults.Injector
 }
 
 // withDefaults resolves the zero-value fields.
@@ -145,11 +157,12 @@ type Ticket struct {
 	// ID addresses the submission in Cancel calls and stats.
 	ID uint64
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
-	resp   *Response
-	err    error
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+	resp     *Response
+	err      error
+	finished atomic.Bool // finish ran; guards the last-resort recovery path
 }
 
 // Done closes when the submission has finished (or failed).
@@ -174,11 +187,13 @@ func (t *Ticket) Cancel() { t.cancel() }
 type SubmitOption func(*submitConfig)
 
 type submitConfig struct {
-	engine  string
-	threads int
-	args    []int64
-	hasArgs bool
-	fast    bool
+	engine     string
+	threads    int
+	args       []int64
+	hasArgs    bool
+	fast       bool
+	timeout    time.Duration
+	hasTimeout bool
 }
 
 // WithEngine forces this submission's engine ("typer", "tectorwise"
@@ -213,6 +228,15 @@ func WithFast() SubmitOption {
 	return func(c *submitConfig) { c.fast = true }
 }
 
+// WithTimeout bounds this submission's whole lifecycle (queue wait
+// included): past the deadline it stops at the next morsel boundary
+// and reports context.DeadlineExceeded. It overrides the server's
+// DefaultTimeout; d <= 0 removes the server deadline for this
+// submission (the caller's own context still applies).
+func WithTimeout(d time.Duration) SubmitOption {
+	return func(c *submitConfig) { c.timeout = d; c.hasTimeout = true }
+}
+
 // Stats is a snapshot of the service counters, taken under one lock
 // acquisition: the outcome counters and the occupancy always satisfy
 // Submitted == Completed + Failed + Canceled + InFlight + Queued in
@@ -234,8 +258,13 @@ type Stats struct {
 	// key themselves (a subset of PlanMisses).
 	PlanHits, PlanMisses, PlanEvictions, PlanDedups uint64
 	PlanEntries, PlanCapacity                       int
-	// Pool shape.
-	Workers, QueryThreads int
+	// Pool shape. PoolBusy is the instantaneous count of slots
+	// executing a morsel — zero on a drained server.
+	Workers, QueryThreads, PoolBusy int
+	// Resilience counters: panics converted to per-query errors,
+	// queries stopped by their deadline (a subset of Canceled), and
+	// circuit-breaker trips on poison templates.
+	PanicsRecovered, DeadlineExceeded, BreakerOpens uint64
 }
 
 // PlanHitRate is hits / lookups (0 before the first lookup).
@@ -252,6 +281,7 @@ type Server struct {
 	cfg   Config
 	pool  *pool
 	plans *planCache
+	brk   *breaker
 
 	sem   chan struct{} // in-flight budget
 	queue chan struct{} // waiting budget
@@ -285,10 +315,12 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		pool:    newPool(cfg.Workers),
 		plans:   newPlanCache(cfg.PlanCache),
+		brk:     newBreaker(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		queue:   make(chan struct{}, cfg.MaxQueue),
 		pending: make(map[uint64]*Ticket),
 	}
+	s.pool.faults = cfg.Faults
 	s.tel = newTelemetry(s)
 	return s, nil
 }
@@ -314,6 +346,10 @@ func (s *Server) QueryAsync(ctx context.Context, text string, opts ...SubmitOpti
 	if sc.threads > s.cfg.Workers {
 		sc.threads = s.cfg.Workers
 	}
+	timeout := s.cfg.DefaultTimeout
+	if sc.hasTimeout {
+		timeout = sc.timeout
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -330,12 +366,25 @@ func (s *Server) QueryAsync(ctx context.Context, text string, opts ...SubmitOpti
 		case s.queue <- struct{}{}:
 		default:
 			s.st.rejected++
+			queued, inflight := s.st.queued, s.st.inflight
 			s.mu.Unlock()
-			return nil, ErrOverloaded
+			// Overload responses carry client guidance: the computed
+			// backoff spreads thundering-herd retries instead of having
+			// every rejected client hammer the queue again at once.
+			s.tel.RetryHints.Inc()
+			return nil, &OverloadError{
+				Queued:     queued,
+				InFlight:   inflight,
+				RetryAfter: s.retryAfter(queued),
+			}
 		}
 	}
 	t := &Ticket{ID: s.nextID.Add(1), done: make(chan struct{})}
-	t.ctx, t.cancel = context.WithCancel(ctx)
+	if timeout > 0 {
+		t.ctx, t.cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		t.ctx, t.cancel = context.WithCancel(ctx)
+	}
 	s.pending[t.ID] = t
 	s.wg.Add(1)
 	s.st.submitted++
@@ -379,45 +428,84 @@ func (s *Server) Stats() Stats {
 	st := s.st
 	s.mu.Unlock()
 	return Stats{
-		Submitted:     st.submitted,
-		Completed:     st.completed,
-		Failed:        st.failed,
-		Canceled:      st.canceled,
-		Rejected:      st.rejected,
-		FastCompleted: st.fast,
-		InFlight:      st.inflight,
-		Queued:        st.queued,
-		PlanHits:      hits,
-		PlanMisses:    misses,
-		PlanEvictions: evictions,
-		PlanDedups:    dedups,
-		PlanEntries:   s.plans.len(),
-		PlanCapacity:  s.cfg.PlanCache,
-		Workers:       s.cfg.Workers,
-		QueryThreads:  s.cfg.QueryThreads,
+		Submitted:        st.submitted,
+		Completed:        st.completed,
+		Failed:           st.failed,
+		Canceled:         st.canceled,
+		Rejected:         st.rejected,
+		FastCompleted:    st.fast,
+		InFlight:         st.inflight,
+		Queued:           st.queued,
+		PlanHits:         hits,
+		PlanMisses:       misses,
+		PlanEvictions:    evictions,
+		PlanDedups:       dedups,
+		PlanEntries:      s.plans.len(),
+		PlanCapacity:     s.cfg.PlanCache,
+		Workers:          s.cfg.Workers,
+		QueryThreads:     s.cfg.QueryThreads,
+		PoolBusy:         int(s.pool.busySlots()),
+		PanicsRecovered:  s.tel.Panics.Value(),
+		DeadlineExceeded: s.tel.Deadlines.Value(),
+		BreakerOpens:     s.brk.openCount(),
 	}
 }
 
-// Close stops admissions, waits for every pending query, and shuts
-// the pool down. It is idempotent.
-func (s *Server) Close() {
+// Close stops admissions, waits for every pending query — EXPLAIN
+// ANALYZE's off-pool serial run included — and shuts the pool down.
+// It is idempotent and safe to call concurrently: every call returns
+// only after the last pending query has retired and the pool stopped.
+func (s *Server) Close() { _ = s.Shutdown(context.Background()) }
+
+// Shutdown is the bounded-drain Close: it stops admitting
+// immediately, gives in-flight and queued queries until ctx expires
+// to finish, then cancels the stragglers (each stops at its next
+// morsel boundary) and still waits for them to retire before
+// stopping the pool — the pool never dies under a live query.
+// It returns ctx.Err() if the drain had to cancel anything, nil if
+// everything finished on its own. Like Close it is idempotent and
+// concurrency-safe.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
-	if already {
-		return
+
+	drained := make(chan struct{})
+	go func() {
+		defer func() { _ = recover() }() // WaitGroup misuse must not kill the drain
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for _, t := range s.pending { //olap:allow detrange canceling every pending ticket; order never reaches a result
+			t.cancel()
+		}
+		s.mu.Unlock()
+		<-drained
 	}
-	s.wg.Wait()
 	s.pool.close()
+	return err
 }
 
 // finish records a submission's outcome and releases its ticket. The
 // outcome counter and the occupancy decrement (inflight reports which
 // budget the submission last occupied) land in one critical section,
 // so no Stats snapshot ever sees the query in both states or neither.
+// The finished flag makes the last-resort recovery in run safe: a
+// ticket finishes exactly once.
 func (s *Server) finish(t *Ticket, resp *Response, err error, inflight bool) {
+	if !t.finished.CompareAndSwap(false, true) {
+		return
+	}
 	t.resp, t.err = resp, err
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.tel.Deadlines.Inc()
+	}
 	s.mu.Lock()
 	switch {
 	case err == nil:
@@ -443,8 +531,23 @@ func (s *Server) finish(t *Ticket, resp *Response, err error, inflight bool) {
 }
 
 // run is one submission's lifecycle: wait for admission if queued,
-// execute, record the outcome.
+// execute, record the outcome. Its last-resort recover converts a
+// panic anywhere in the lifecycle bookkeeping into a per-query
+// failure that still releases the submission's budget slot — the
+// process and the other in-flight queries survive any query-scoped
+// fault. (Panics inside the query's own work are converted closer to
+// home, by safeExecute and the pool's per-morsel recovery.)
 func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, submitted time.Time) {
+	holding := admitted // whether we hold an in-flight slot right now
+	defer func() {
+		if r := recover(); r != nil {
+			s.tel.Panics.Inc()
+			if holding {
+				<-s.sem
+			}
+			s.finish(t, nil, newPanicError("query-lifecycle", r), holding)
+		}
+	}()
 	root := obs.NewSpan("query")
 	root.Annotate("id=%d", t.ID)
 	qspan := root.Child("queue-wait")
@@ -457,6 +560,7 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 		// the waiting bound is never exceeded.
 		select {
 		case s.sem <- struct{}{}:
+			holding = true
 			s.mu.Lock()
 			s.st.queued--
 			s.st.inflight++
@@ -473,10 +577,11 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 	s.tel.QueueMs.Observe(float64(queued) / float64(time.Millisecond))
 	if t.ctx.Err() != nil {
 		<-s.sem
+		holding = false
 		s.finish(t, nil, t.ctx.Err(), true)
 		return
 	}
-	resp, err := s.execute(t, text, sc, root)
+	resp, err := s.safeExecute(t, text, sc, root)
 	root.End()
 	wall := time.Since(submitted) //olap:allow wallclock wall-time telemetry
 	if resp != nil {
@@ -494,7 +599,25 @@ func (s *Server) run(t *Ticket, text string, sc submitConfig, admitted bool, sub
 	// a waiter that just observed completion never reads a stale
 	// Stats().InFlight.
 	<-s.sem
+	holding = false
 	s.finish(t, resp, err, true)
+}
+
+// safeExecute isolates panics in one query's compile and execution:
+// a panic in the planner, the fast-path executor's kernels (their
+// worker goroutines repropagate onto this frame), the build phase or
+// the finalize merge becomes that query's error, with the stack
+// captured in the PanicError. The pool's own per-morsel recovery
+// covers the scan phase, whose panics surface as runScan errors, not
+// panics, and so arrive here as plain errors.
+func (s *Server) safeExecute(t *Ticket, text string, sc submitConfig, root *obs.Span) (resp *Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.tel.Panics.Inc()
+			resp, err = nil, newPanicError("execute", r)
+		}
+	}()
+	return s.execute(t, text, sc, root)
 }
 
 // argsKey renders bound arguments as a cache-key suffix.
@@ -531,15 +654,32 @@ func (s *Server) plan(text string, sc submitConfig, span *obs.Span) (c *sql.Comp
 			template, args = tmpl, auto
 		}
 	}
+	// Poison templates trip a per-template circuit breaker: after
+	// breakerThreshold consecutive compile failures the next
+	// breakerCooldown submissions of the template are rejected before
+	// any compile work (or admission of downstream phases) happens.
+	// The breaker keys the normalized template, so literal variants of
+	// one poison statement share a trip.
+	norm := sql.NormalizeSQL(template)
+	if err := s.brk.admit(norm); err != nil {
+		return nil, false, err
+	}
+	if s.cfg.Faults != nil && s.cfg.Faults.Fire(faults.EvictionStorm, text) {
+		s.plans.purge()
+	}
 	key := PlanKey(template, sc.engine, sc.threads)
 	compileTemplate := func(counted bool) func() (*sql.Compiled, error) {
 		return func() (*sql.Compiled, error) {
+			if s.cfg.Faults != nil && s.cfg.Faults.Fire(faults.CompileError, text) {
+				return nil, &faults.ErrInjected{Point: faults.CompileError, Key: text}
+			}
 			t0 := time.Now() //olap:allow wallclock compile-time telemetry
 			tc, err := sql.Compile(s.cfg.Data, s.cfg.Machine, template,
 				sql.Options{Engine: sc.engine, Threads: sc.threads, Trace: span})
 			if err == nil && counted {
 				s.tel.CompileMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond)) //olap:allow wallclock compile-time telemetry
 			}
+			s.brk.onCompile(norm, err)
 			return tc, err
 		}
 	}
@@ -618,6 +758,9 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 			if err := t.ctx.Err(); err != nil {
 				return nil, err
 			}
+			if s.cfg.Faults != nil && s.cfg.Faults.Fire(faults.WorkerPanic, text) {
+				panic(&faults.ErrInjected{Point: faults.WorkerPanic, Key: text})
+			}
 			exec := root.Child("execute")
 			merged, used := fp.Execute(sc.threads)
 			exec.End()
@@ -645,7 +788,7 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 		morsels := parallel.Morsels(prep.Rows(), 0, prep.MorselAlign(), sc.threads)
 		workers := parallel.NewFastWorkers(as, prep,
 			morsels, sc.threads, fmt.Sprintf("server.q%d.w", t.ID))
-		if err := s.runScan(t, root, workers, morsels); err != nil {
+		if err := s.runScan(t, text, root, workers, morsels); err != nil {
 			return nil, err
 		}
 		sp = root.Child("finalize")
@@ -676,7 +819,7 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 	morsels := parallel.Morsels(prep.Rows(), 0, prep.MorselAlign(), sc.threads)
 	probes, workers := parallel.NewWorkers(s.cfg.Machine, mem.AllPrefetchers(), as, prep,
 		morsels, sc.threads, fmt.Sprintf("server.q%d.w", t.ID))
-	if err := s.runScan(t, root, workers, morsels); err != nil {
+	if err := s.runScan(t, text, root, workers, morsels); err != nil {
 		return nil, err
 	}
 
@@ -702,24 +845,28 @@ func (s *Server) execute(t *Ticket, text string, sc submitConfig, root *obs.Span
 // share per worker, strided morsel assignment, an aggregated span per
 // worker under root's "execute" child. Measured and fast executions
 // schedule identically — the pool neither knows nor cares whether a
-// worker carries a probe.
-func (s *Server) runScan(t *Ticket, root *obs.Span, workers []relop.Worker, morsels []parallel.Morsel) error {
+// worker carries a probe. A panic recovered on one of the query's
+// morsels (the pool's per-slot recovery) surfaces here as the query's
+// error; the pool, the other queries and their spans are untouched.
+func (s *Server) runScan(t *Ticket, text string, root *obs.Span, workers []relop.Worker, morsels []parallel.Morsel) error {
 	threads := len(workers)
 	exec := root.Child("execute")
 	if len(morsels) > 0 {
 		task := &poolTask{
-			ctx:     t.ctx,
-			morsels: morsels,
-			threads: threads,
-			workers: workers,
-			busyNs:  make([]int64, threads),
-			ran:     make([]int, threads),
-			done:    make(chan struct{}),
+			ctx:      t.ctx,
+			faultKey: text,
+			morsels:  morsels,
+			threads:  threads,
+			workers:  workers,
+			busyNs:   make([]int64, threads),
+			ran:      make([]int, threads),
+			done:     make(chan struct{}),
 		}
 		s.pool.enqueue(task)
-		// The pool drains canceled tasks on its own (skipping their
-		// morsels), so done always closes; waiting on it alone keeps
-		// every worker's state quiescent before we read partials.
+		// The pool drains canceled and panicked tasks on its own
+		// (skipping their remaining morsels), so done always closes;
+		// waiting on it alone keeps every worker's state quiescent
+		// before we read partials.
 		<-task.done
 		// One aggregated span per worker: the sum of its morsel
 		// runtimes on the shared pool (not a contiguous interval).
@@ -727,6 +874,11 @@ func (s *Server) runScan(t *Ticket, root *obs.Span, workers []relop.Worker, mors
 			ws := exec.Child(fmt.Sprintf("worker[%d]", wi))
 			ws.SetDuration(time.Duration(task.busyNs[wi]))
 			ws.Annotate("morsels=%d", task.ran[wi])
+		}
+		if perr := task.panicked(); perr != nil {
+			exec.End()
+			s.tel.Panics.Inc()
+			return perr
 		}
 	}
 	exec.End()

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"olapmicro/internal/faults"
 )
 
 // Session runs the line-oriented text protocol cmd/olapserve speaks,
@@ -29,6 +31,10 @@ import (
 //	                later submissions: results stay bit-identical, but
 //	                no micro-architectural profile is simulated (result
 //	                lines then carry fast=true and time=0)
+//	timeout <ms>    bound this session's later submissions to a
+//	                millisecond deadline (0 removes any deadline,
+//	                including the server default; "timeout default"
+//	                restores the server default)
 //	cancel <id>     cancel a pending submission
 //	stats           print the service counters
 //	metrics         print the Prometheus text exposition, each line
@@ -53,11 +59,13 @@ type Session struct {
 	mu      sync.Mutex // serializes writes; result lines come from many goroutines
 	pending sync.WaitGroup
 
-	// prepped and fast are session-local command state, touched only by
-	// the command loop (never by reporter goroutines), so they need no
-	// lock.
-	prepped map[string]string
-	fast    bool
+	// prepped, fast and the timeout pair are session-local command
+	// state, touched only by the command loop (never by reporter
+	// goroutines), so they need no lock.
+	prepped    map[string]string
+	fast       bool
+	timeout    time.Duration
+	hasTimeout bool
 }
 
 // ServeSession speaks the protocol on r/w until quit or EOF; it
@@ -100,8 +108,10 @@ func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
 			ses.executeCmd(rest)
 		case "fast":
 			ses.fastCmd(rest)
+		case "timeout":
+			ses.timeoutCmd(rest)
 		default:
-			ses.printf("error unknown command %q (want submit, query, prepare, execute, fast, cancel, stats, metrics, wait, quit)", cmd)
+			ses.printf("error unknown command %q (want submit, query, prepare, execute, fast, timeout, cancel, stats, metrics, wait, quit)", cmd)
 		}
 	}
 	return in.Err()
@@ -128,20 +138,23 @@ func (ses *Session) submit(text string, blocking bool, opts ...SubmitOption) {
 	if ses.fast {
 		opts = append(opts, WithFast())
 	}
+	if ses.hasTimeout {
+		opts = append(opts, WithTimeout(ses.timeout))
+	}
 	t, err := ses.srv.QueryAsync(ses.ctx, text, opts...)
 	if err != nil {
-		ses.printf("error %v", err)
+		ses.printf("error %s", oneLine(err.Error()))
 		return
 	}
 	if blocking {
-		ses.report(t)
+		ses.safeReport(t, text)
 		return
 	}
 	ses.printf("ok id=%d", t.ID)
 	ses.pending.Add(1)
 	go func() {
 		defer ses.pending.Done()
-		ses.report(t)
+		ses.safeReport(t, text)
 	}()
 }
 
@@ -202,6 +215,50 @@ func (ses *Session) fastCmd(arg string) {
 	ses.printf("ok fast=%v", ses.fast)
 }
 
+// timeoutCmd sets the session's per-submission deadline: a positive
+// millisecond count bounds later submissions, 0 removes any deadline
+// (including the server default), and "default" restores the server
+// default.
+func (ses *Session) timeoutCmd(arg string) {
+	if strings.EqualFold(arg, "default") {
+		ses.hasTimeout = false
+		ses.printf("ok timeout=default")
+		return
+	}
+	ms, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || ms < 0 {
+		ses.printf("error timeout wants a millisecond count >= 0 or default, got %q", arg)
+		return
+	}
+	ses.hasTimeout = true
+	ses.timeout = time.Duration(ms) * time.Millisecond
+	if ms == 0 {
+		ses.printf("ok timeout=off")
+		return
+	}
+	ses.printf("ok timeout=%dms", ms)
+}
+
+// safeReport is report behind the session's panic barrier: a panic
+// while waiting for or printing one result becomes that submission's
+// error line, counted like every other recovered panic, instead of
+// killing the connection (blocking reports) or the process
+// (asynchronous reporter goroutines).
+func (ses *Session) safeReport(t *Ticket, text string) {
+	defer func() {
+		if r := recover(); r != nil {
+			ses.srv.tel.Panics.Inc()
+			ses.printf("result id=%d error %s", t.ID, oneLine(newPanicError("session-report", r).Error()))
+		}
+	}()
+	ses.report(t, text)
+}
+
+// injectedBlockedWriterDelay is the stall the blocked-writer fault
+// injects before a result line is written, simulating a wedged client
+// connection.
+const injectedBlockedWriterDelay = 2 * time.Millisecond
+
 // report waits for a ticket and prints its result line(s): a result
 // line for executed statements (EXPLAIN ANALYZE included), then the
 // multi-line explain body when one was rendered. The wait is tied to
@@ -209,7 +266,7 @@ func (ses *Session) fastCmd(arg string) {
 // goroutines (and the session teardown waiting on them) blocked until
 // their queries drained even after the peer was gone. A dead session
 // has nobody to write to, so a session-cancel wait returns silently.
-func (ses *Session) report(t *Ticket) {
+func (ses *Session) report(t *Ticket, text string) {
 	resp, err := t.Wait(ses.ctx)
 	if err != nil {
 		if ses.ctx.Err() != nil {
@@ -220,8 +277,13 @@ func (ses *Session) report(t *Ticket) {
 			<-t.Done()
 			return
 		}
-		ses.printf("result id=%d error %v", t.ID, err)
+		ses.printf("result id=%d error %s", t.ID, oneLine(err.Error()))
 		return
+	}
+	if f := ses.srv.cfg.Faults; f != nil && f.Fire(faults.BlockedWriter, text) {
+		// Stall outside ses.mu: a wedged writer delays this session's
+		// lines, never another session or the query path.
+		time.Sleep(injectedBlockedWriterDelay)
 	}
 	ses.mu.Lock()
 	defer ses.mu.Unlock()
@@ -267,7 +329,7 @@ func (ses *Session) cancelCmd(arg string) {
 		return
 	}
 	if err := ses.srv.Cancel(id); err != nil {
-		ses.printf("error %v", err)
+		ses.printf("error %s", oneLine(err.Error()))
 		return
 	}
 	ses.printf("ok id=%d canceling", id)

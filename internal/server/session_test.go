@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"olapmicro/internal/faults"
 )
 
 // serve runs one scripted session and returns its output.
@@ -156,6 +158,78 @@ func TestSessionPrepareExecuteFast(t *testing.T) {
 	}
 }
 
+// The timeout verb: well-formed values ack and steer later
+// submissions, malformed ones error without disturbing session state,
+// and a session-set deadline actually expires a query.
+func TestSessionTimeoutVerb(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	out := serve(t, s, strings.Join([]string{
+		"timeout",
+		"timeout abc",
+		"timeout -5",
+		"timeout 0",
+		"timeout 60000",
+		"query select count(*) from nation",
+		"timeout default",
+		"query select count(*) from nation",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		`error timeout wants a millisecond count >= 0 or default, got ""`,
+		`error timeout wants a millisecond count >= 0 or default, got "abc"`,
+		`error timeout wants a millisecond count >= 0 or default, got "-5"`,
+		"ok timeout=off",
+		"ok timeout=60000ms",
+		"ok timeout=default",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Both queries ran under generous-or-no deadlines: two ok results.
+	if got := len(regexp.MustCompile(`(?m)^result id=\d+ ok `).FindAllString(out, -1)); got != 2 {
+		t.Errorf("want 2 ok result lines, got %d:\n%s", got, out)
+	}
+}
+
+// A server-wide default deadline reaches session queries, surfaces as
+// a one-line protocol error, and "timeout 0" opts the session out.
+func TestSessionDefaultDeadline(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, DefaultTimeout: time.Nanosecond})
+	out := serve(t, s, strings.Join([]string{
+		"query select count(*) from nation",
+		"timeout 0",
+		"query select count(*) from nation",
+		"quit",
+	}, "\n"))
+	if !regexp.MustCompile(`(?m)^result id=1 error .*deadline exceeded.*$`).MatchString(out) {
+		t.Errorf("missing one-line deadline error for id 1:\n%s", out)
+	}
+	if !regexp.MustCompile(`(?m)^result id=2 ok `).MatchString(out) {
+		t.Errorf("timeout 0 must lift the server default for id 2:\n%s", out)
+	}
+}
+
+// An injected writer stall delays the result line but corrupts
+// nothing: the line still arrives intact and the fault demonstrably
+// fired.
+func TestSessionBlockedWriterFault(t *testing.T) {
+	inj := faults.New(7)
+	inj.Enable(faults.BlockedWriter, 1, 0)
+	s := newTestServer(t, Config{Workers: 2, Faults: inj})
+	out := serve(t, s, strings.Join([]string{
+		"submit select count(*) from nation",
+		"wait",
+		"quit",
+	}, "\n"))
+	if !regexp.MustCompile(`(?m)^result id=1 ok `).MatchString(out) {
+		t.Errorf("blocked-writer run must still report:\n%s", out)
+	}
+	if inj.Count(faults.BlockedWriter) == 0 {
+		t.Error("blocked-writer fault never fired")
+	}
+}
+
 // brokenWriter fails every write — a peer that hung up.
 type brokenWriter struct{}
 
@@ -195,7 +269,7 @@ func TestSessionReporterExitsOnHangup(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})
-	go func() { ses.report(tk); close(done) }()
+	go func() { ses.report(tk, testQueries[0]); close(done) }()
 	ses.cancel() // the peer hangs up mid-wait
 	select {
 	case <-done:

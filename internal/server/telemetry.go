@@ -20,6 +20,14 @@ type Telemetry struct {
 	// the submit-to-finish latency of the profile-free fast-mode subset
 	// (also present in WallMs).
 	QueueMs, CompileMs, ExecMs, WallMs, FastWallMs *obs.Histogram
+
+	// Panics counts panics recovered anywhere in a query's lifecycle
+	// (pool slot, compile path, fast-path executor, session writer) —
+	// each one a query that failed instead of a process that died.
+	// Deadlines counts queries that exceeded their server-side deadline;
+	// RetryHints counts overload rejections that carried a retry-after
+	// hint.
+	Panics, Deadlines, RetryHints *obs.Counter
 }
 
 // newTelemetry wires the registry against a server's counters.
@@ -47,6 +55,10 @@ func newTelemetry(s *Server) *Telemetry {
 	r.GaugeFunc("olap_pool_utilization", func() float64 {
 		return float64(s.pool.busySlots()) / float64(s.cfg.Workers)
 	})
+	t.Panics = r.Counter("olap_panic_recovered_total")
+	t.Deadlines = r.Counter("olap_deadline_exceeded_total")
+	t.RetryHints = r.Counter("olap_retry_after_hints_total")
+	r.CounterFunc("olap_breaker_open_total", s.brk.openCount)
 	t.QueueMs = r.Histogram("olap_queue_ms", nil)
 	t.CompileMs = r.Histogram("olap_compile_ms", nil)
 	t.ExecMs = r.Histogram("olap_exec_ms", nil)

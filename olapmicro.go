@@ -278,8 +278,13 @@ type ServerStats struct {
 	// joined an in-flight compilation instead of compiling themselves.
 	PlanHits, PlanMisses, PlanEvictions, PlanDedups uint64
 	PlanEntries, PlanCapacity                       int
-	// Pool shape: slot count and per-query parallelism.
-	Workers, QueryThreads int
+	// Pool shape: slot count, per-query parallelism, and the
+	// instantaneous count of slots executing a morsel.
+	Workers, QueryThreads, PoolBusy int
+	// Resilience counters: panics converted to per-query errors,
+	// queries stopped by their deadline, and circuit-breaker trips on
+	// poison statement templates.
+	PanicsRecovered, DeadlineExceeded, BreakerOpens uint64
 }
 
 // PlanHitRate is plan-cache hits / lookups (0 before the first).
